@@ -1,0 +1,281 @@
+//! Coarse-grained comparison file systems.
+//!
+//! * [`SeqFs`] — a sequential tree behind one global mutex. This is the
+//!   DFSCQ stand-in: a correct-by-construction sequential file system that
+//!   cannot exploit multicore concurrency (the benchmarks additionally
+//!   wrap it in a managed-runtime overhead shim to model the Haskell
+//!   extraction cost the paper attributes DFSCQ's slowdown to).
+//! * [`RwTreeFs`] — the same tree behind a readers/writer lock, letting
+//!   read-only operations run in parallel. This is the tmpfs stand-in for
+//!   the single-threaded application experiments.
+//! * [`BigLockFs`] — a wrapper adding one global lock around *any* file
+//!   system; `BigLockFs<AtomFs>` is the paper's **AtomFS-biglock**
+//!   (§7.3), where every operation holds the big lock from start to
+//!   finish.
+
+use parking_lot::{Mutex, RwLock};
+
+use atomfs_vfs::path::normalize;
+use atomfs_vfs::{FileSystem, FileType, FsResult, Metadata};
+
+use crate::tree::Tree;
+
+/// Sequential file system: one mutex, no concurrency (DFSCQ-sim).
+pub struct SeqFs {
+    tree: Mutex<Tree>,
+}
+
+impl Default for SeqFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqFs {
+    /// Create an empty file system.
+    pub fn new() -> Self {
+        SeqFs {
+            tree: Mutex::new(Tree::new()),
+        }
+    }
+}
+
+impl FileSystem for SeqFs {
+    fn name(&self) -> &'static str {
+        "seqfs"
+    }
+    fn mknod(&self, path: &str) -> FsResult<()> {
+        self.tree.lock().create(&normalize(path)?, FileType::File)
+    }
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.tree.lock().create(&normalize(path)?, FileType::Dir)
+    }
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.tree.lock().remove(&normalize(path)?, false)
+    }
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.tree.lock().remove(&normalize(path)?, true)
+    }
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        self.tree.lock().rename(&normalize(src)?, &normalize(dst)?)
+    }
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        self.tree.lock().stat(&normalize(path)?)
+    }
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        self.tree.lock().readdir(&normalize(path)?)
+    }
+    fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.tree.lock().read(&normalize(path)?, offset, buf)
+    }
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.tree.lock().write(&normalize(path)?, offset, data)
+    }
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        self.tree.lock().truncate(&normalize(path)?, size)
+    }
+}
+
+/// Readers/writer tree file system (tmpfs-sim): concurrent readers,
+/// exclusive writers.
+pub struct RwTreeFs {
+    tree: RwLock<Tree>,
+}
+
+impl Default for RwTreeFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RwTreeFs {
+    /// Create an empty file system.
+    pub fn new() -> Self {
+        RwTreeFs {
+            tree: RwLock::new(Tree::new()),
+        }
+    }
+}
+
+impl FileSystem for RwTreeFs {
+    fn name(&self) -> &'static str {
+        "rwtreefs"
+    }
+    fn mknod(&self, path: &str) -> FsResult<()> {
+        self.tree.write().create(&normalize(path)?, FileType::File)
+    }
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.tree.write().create(&normalize(path)?, FileType::Dir)
+    }
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.tree.write().remove(&normalize(path)?, false)
+    }
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.tree.write().remove(&normalize(path)?, true)
+    }
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        self.tree.write().rename(&normalize(src)?, &normalize(dst)?)
+    }
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        self.tree.read().stat(&normalize(path)?)
+    }
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        self.tree.read().readdir(&normalize(path)?)
+    }
+    fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.tree.read().read(&normalize(path)?, offset, buf)
+    }
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.tree.write().write(&normalize(path)?, offset, data)
+    }
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        self.tree.write().truncate(&normalize(path)?, size)
+    }
+}
+
+/// One global lock around any file system — the AtomFS-biglock variant:
+/// "all file system operations first acquire a big-lock and do not
+/// release the lock until the operations finish" (§7.3).
+pub struct BigLockFs<F> {
+    inner: F,
+    big: Mutex<()>,
+}
+
+impl<F: FileSystem> BigLockFs<F> {
+    /// Wrap `inner` with a global lock.
+    pub fn new(inner: F) -> Self {
+        BigLockFs {
+            inner,
+            big: Mutex::new(()),
+        }
+    }
+
+    /// The wrapped file system.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: FileSystem> FileSystem for BigLockFs<F> {
+    fn name(&self) -> &'static str {
+        "biglock"
+    }
+    fn mknod(&self, path: &str) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.inner.mknod(path)
+    }
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.inner.mkdir(path)
+    }
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.inner.unlink(path)
+    }
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.inner.rmdir(path)
+    }
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.inner.rename(src, dst)
+    }
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let _g = self.big.lock();
+        self.inner.stat(path)
+    }
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        let _g = self.big.lock();
+        self.inner.readdir(path)
+    }
+    fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let _g = self.big.lock();
+        self.inner.read(path, offset, buf)
+    }
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let _g = self.big.lock();
+        self.inner.write(path, offset, data)
+    }
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.inner.truncate(path, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs_vfs::fs::FileSystemExt;
+    use atomfs_vfs::FsError;
+    use std::sync::Arc;
+
+    fn exercise(fs: &dyn FileSystem) {
+        fs.mkdir("/d").unwrap();
+        fs.mknod("/d/f").unwrap();
+        fs.write("/d/f", 0, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.read("/d/f", 0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        fs.rename("/d/f", "/d/g").unwrap();
+        assert_eq!(fs.stat("/d/f"), Err(FsError::NotFound));
+        assert_eq!(fs.readdir("/d").unwrap(), vec!["g"]);
+        fs.truncate("/d/g", 2).unwrap();
+        assert_eq!(fs.read_to_vec("/d/g").unwrap(), b"he");
+        fs.unlink("/d/g").unwrap();
+        fs.rmdir("/d").unwrap();
+    }
+
+    #[test]
+    fn seqfs_full_cycle() {
+        exercise(&SeqFs::new());
+    }
+
+    #[test]
+    fn rwtree_full_cycle() {
+        exercise(&RwTreeFs::new());
+    }
+
+    #[test]
+    fn biglock_over_atomfs_full_cycle() {
+        exercise(&BigLockFs::new(atomfs::AtomFs::new()));
+    }
+
+    #[test]
+    fn rwtree_concurrent_readers() {
+        let fs = Arc::new(RwTreeFs::new());
+        fs.mknod("/f").unwrap();
+        fs.write("/f", 0, b"shared").unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let mut buf = [0u8; 6];
+                    assert_eq!(fs.read("/f", 0, &mut buf).unwrap(), 6);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn biglock_serializes_but_is_correct() {
+        let fs = Arc::new(BigLockFs::new(atomfs::AtomFs::new()));
+        fs.mkdir("/d").unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    fs.mknod(&format!("/d/f{t}_{i}")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fs.readdir("/d").unwrap().len(), 400);
+    }
+}

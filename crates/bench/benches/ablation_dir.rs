@@ -1,0 +1,75 @@
+//! Ablation: directory representation (§6).
+//!
+//! The paper's AtomFS uses "a hash table followed by linked lists for
+//! directory lookups". This bench compares that structure (`DirHash`)
+//! against the obvious alternative, an ordered map (`BTreeMap`), across
+//! directory sizes — justifying the design choice for lookup-heavy
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use atomfs::dirhash::DirHash;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dir_lookup");
+    for size in [16usize, 256, 4096, 16384] {
+        let mut hash = DirHash::new();
+        let mut btree = BTreeMap::new();
+        for i in 0..size {
+            hash.insert(&format!("entry{i}"), i as u64, false);
+            btree.insert(format!("entry{i}"), i as u64);
+        }
+        let probe: Vec<String> = (0..64).map(|i| format!("entry{}", i * size / 64)).collect();
+        group.bench_with_input(BenchmarkId::new("dirhash", size), &size, |b, _| {
+            b.iter(|| {
+                for p in &probe {
+                    black_box(hash.lookup(p));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap", size), &size, |b, _| {
+            b.iter(|| {
+                for p in &probe {
+                    black_box(btree.get(p));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dir_insert_remove");
+    for size in [256usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("dirhash", size), &size, |b, &n| {
+            b.iter(|| {
+                let mut d = DirHash::new();
+                for i in 0..n {
+                    d.insert(&format!("e{i}"), i as u64, false);
+                }
+                for i in 0..n {
+                    d.remove(&format!("e{i}"), false);
+                }
+                black_box(d.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap", size), &size, |b, &n| {
+            b.iter(|| {
+                let mut d = BTreeMap::new();
+                for i in 0..n {
+                    d.insert(format!("e{i}"), i as u64);
+                }
+                for i in 0..n {
+                    d.remove(&format!("e{i}"));
+                }
+                black_box(d.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert_remove);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: synchronization discipline (§5.1).
+//!
+//! Compares the per-operation cost of the three designs the paper
+//! discusses for meeting the non-bypassable criterion — lock coupling
+//! (AtomFS), one big lock, and Linux-VFS-style traversal retry — plus the
+//! sequential tree for reference, on an identical single-threaded
+//! operation mix. (Multicore behaviour is covered by the `fig11_scalability`
+//! experiment via the lock simulator; this bench isolates the
+//! uncontended overhead each discipline pays.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atomfs::AtomFs;
+use atomfs_baselines::{BigLockFs, RetryFs, SeqFs};
+use atomfs_vfs::FileSystem;
+
+fn mixed_ops(fs: &dyn FileSystem, round: &mut u64) {
+    let r = *round;
+    *round += 1;
+    let f = format!("/work/f{}", r % 8);
+    let g = format!("/work/g{}", r % 8);
+    let _ = fs.mknod(&f);
+    let _ = fs.write(&f, 0, b"ablation payload");
+    let _ = fs.stat(&f);
+    let mut buf = [0u8; 16];
+    let _ = fs.read(&f, 0, &mut buf);
+    let _ = fs.rename(&f, &g);
+    let _ = fs.unlink(&g);
+    black_box(buf);
+}
+
+fn bench_sync_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_discipline");
+    let systems: Vec<(&str, Box<dyn FileSystem>)> = vec![
+        ("lock_coupling", Box::new(AtomFs::new())),
+        ("big_lock", Box::new(BigLockFs::new(AtomFs::new()))),
+        ("traversal_retry", Box::new(RetryFs::new())),
+        ("sequential", Box::new(SeqFs::new())),
+    ];
+    for (name, fs) in systems {
+        fs.mkdir("/work").unwrap();
+        let mut round = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| mixed_ops(&*fs, &mut round));
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_walk_ablation(c: &mut Criterion) {
+    // Walk-dominated cost: stat at depth 12 compares a coupled walk
+    // against a retry walk (which locks one inode at a time but checks
+    // the rename seqlock) and a plain tree descent.
+    let mut group = c.benchmark_group("deep_walk");
+    let depth = 12usize;
+    let mk = |fs: &dyn FileSystem| {
+        let mut path = String::new();
+        for i in 0..depth {
+            path.push_str(&format!("/n{i}"));
+            fs.mkdir(&path).unwrap();
+        }
+        path
+    };
+    let atom = AtomFs::new();
+    let p1 = mk(&atom);
+    group.bench_function("lock_coupling", |b| {
+        b.iter(|| black_box(atom.stat(&p1).unwrap()))
+    });
+    let retry = RetryFs::new();
+    let p2 = mk(&retry);
+    group.bench_function("traversal_retry", |b| {
+        b.iter(|| black_box(retry.stat(&p2).unwrap()))
+    });
+    let seq = SeqFs::new();
+    let p3 = mk(&seq);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(seq.stat(&p3).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_ablation, bench_deep_walk_ablation);
+criterion_main!(benches);

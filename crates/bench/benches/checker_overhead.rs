@@ -1,0 +1,101 @@
+//! Ablation: verification cost.
+//!
+//! Three measurements: (1) the instrumentation overhead an always-on
+//! trace sink adds to AtomFS operations (untraced vs null-sink vs
+//! buffering), (2) the offline LP-checker's replay throughput in events
+//! per second, and (3) how the relation-check cadence changes checking
+//! cost. Together they quantify what "runtime verification" costs next
+//! to the paper's ahead-of-time proofs (which cost nothing at runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use atomfs::AtomFs;
+use atomfs_trace::{BufferSink, Event, NullSink, TraceSink};
+use atomfs_vfs::FileSystem;
+use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence};
+
+fn ops_round(fs: &AtomFs, round: &mut u64) {
+    let r = *round;
+    *round += 1;
+    let f = format!("/d/f{}", r % 4);
+    let _ = fs.mknod(&f);
+    let _ = fs.write(&f, 0, b"x");
+    let _ = fs.stat(&f);
+    let _ = fs.unlink(&f);
+}
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instrumentation");
+    {
+        let fs = AtomFs::new();
+        fs.mkdir("/d").unwrap();
+        let mut round = 0;
+        group.bench_function("untraced", |b| b.iter(|| ops_round(&fs, &mut round)));
+    }
+    {
+        let fs = AtomFs::traced(Arc::new(NullSink));
+        fs.mkdir("/d").unwrap();
+        let mut round = 0;
+        group.bench_function("null_sink", |b| b.iter(|| ops_round(&fs, &mut round)));
+    }
+    {
+        let sink = Arc::new(BufferSink::new());
+        let fs = AtomFs::traced(sink.clone() as Arc<dyn TraceSink>);
+        fs.mkdir("/d").unwrap();
+        let mut round = 0;
+        group.bench_function("buffer_sink", |b| {
+            b.iter(|| {
+                ops_round(&fs, &mut round);
+                // Keep the buffer bounded so allocation noise stays flat.
+                if sink.len() > 100_000 {
+                    sink.take();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sample_trace(ops: usize) -> Vec<Event> {
+    let sink = Arc::new(BufferSink::new());
+    let fs = AtomFs::traced(sink.clone() as Arc<dyn TraceSink>);
+    fs.mkdir("/d").unwrap();
+    let mut round = 0;
+    for _ in 0..ops {
+        ops_round(&fs, &mut round);
+    }
+    sink.take()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_replay");
+    let trace = sample_trace(500);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, relation, invariants) in [
+        ("at_end", RelationCadence::AtEnd, false),
+        ("at_unlock", RelationCadence::AtUnlock, false),
+        ("at_unlock+invariants", RelationCadence::AtUnlock, true),
+        ("every_event+invariants", RelationCadence::EveryEvent, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = LpChecker::check(
+                    CheckerConfig {
+                        mode: HelperMode::Helpers,
+                        relation,
+                        invariants,
+                    },
+                    black_box(&trace),
+                );
+                assert!(report.is_ok());
+                black_box(report.stats.lps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumentation, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: helping cost at a rename LP.
+//!
+//! `linothers` computes the linearize-before relation over all pending
+//! threads, closes the help set recursively, and topologically orders it
+//! (Figure 5). This bench scales the number of in-flight dependent
+//! walkers and measures the ghost-state computation — the cost a rename's
+//! (logical) LP pays in the checker, and the analogue of the proof-side
+//! complexity the paper reports for helping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use atomfs_trace::{OpDesc, PathTag, Tid};
+use crlh::ghost::ThreadPool;
+use crlh::helper::{help_set, linearize_before_set, total_order};
+
+/// Build a pool with `n` pending walkers whose lock paths all extend the
+/// rename's source path `(1, 2, 3)`, forming chains of varying depth.
+fn pool_with_walkers(n: u32) -> ThreadPool {
+    let mut pool = ThreadPool::new();
+    for t in 0..n {
+        pool.begin(
+            Tid(100 + t),
+            OpDesc::Stat {
+                path: vec!["a".into(), "e".into(), format!("w{t}")],
+            },
+        );
+        let e = pool.get_mut(Tid(100 + t)).unwrap();
+        for ino in [1u64, 2, 3] {
+            e.desc.push_lock(ino, PathTag::Common);
+        }
+        // Walkers go progressively deeper below the moved subtree, so
+        // LockPathPrefix chains of length ~n/4 appear.
+        for d in 0..(t % 4 + 1) {
+            e.desc
+                .push_lock(100 + u64::from(t * 8 + d), PathTag::Common);
+        }
+    }
+    pool
+}
+
+fn bench_help_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linothers_ghost_cost");
+    for n in [1u32, 4, 16, 64, 256] {
+        let pool = pool_with_walkers(n);
+        let src_path = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("help_set", n), &n, |b, _| {
+            b.iter(|| black_box(help_set(Tid(1), &src_path, &pool)));
+        });
+        group.bench_with_input(BenchmarkId::new("full_linothers", n), &n, |b, _| {
+            b.iter(|| {
+                let set = help_set(Tid(1), &src_path, &pool);
+                let lbset = linearize_before_set(&pool);
+                let order = total_order(&set, &lbset).expect("acyclic");
+                black_box(order.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unrelated_walkers(c: &mut Criterion) {
+    // Walkers on disjoint paths: the help set is empty, but
+    // linearize_before_set still scans the pool. Measures the fast path.
+    let mut group = c.benchmark_group("linothers_no_deps");
+    for n in [16u32, 256] {
+        let mut pool = ThreadPool::new();
+        for t in 0..n {
+            pool.begin(
+                Tid(500 + t),
+                OpDesc::Stat {
+                    path: vec![format!("x{t}")],
+                },
+            );
+            let e = pool.get_mut(Tid(500 + t)).unwrap();
+            e.desc.push_lock(1, PathTag::Common);
+            e.desc.push_lock(1000 + u64::from(t), PathTag::Common);
+        }
+        let src_path = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(help_set(Tid(1), &src_path, &pool).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_help_set, bench_unrelated_walkers);
+criterion_main!(benches);

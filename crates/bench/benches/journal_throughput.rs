@@ -1,0 +1,113 @@
+//! Journal extension: logging overhead and recovery speed.
+//!
+//! Measures (1) the per-operation cost the operation log adds to AtomFS
+//! (journaled vs plain), (2) append+commit throughput of the journal
+//! itself, and (3) recovery/replay speed as a function of log length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use atomfs_journal::{recover, Disk, Journal, JournaledFs};
+use atomfs_trace::MicroOp;
+use atomfs_vfs::{FileSystem, FileType};
+
+fn ops_round(fs: &dyn FileSystem, round: &mut u64) {
+    let r = *round;
+    *round += 1;
+    let f = format!("/d/f{}", r % 4);
+    let _ = fs.mknod(&f);
+    let _ = fs.write(&f, 0, &[r as u8; 512]);
+    let _ = fs.unlink(&f);
+}
+
+fn bench_journaled_vs_plain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journaling_overhead");
+    {
+        let fs = atomfs::AtomFs::new();
+        fs.mkdir("/d").unwrap();
+        let mut round = 0;
+        group.bench_function("plain_atomfs", |b| b.iter(|| ops_round(&fs, &mut round)));
+    }
+    {
+        let fs = JournaledFs::create(Arc::new(Disk::new()));
+        fs.mkdir("/d").unwrap();
+        let mut round = 0;
+        group.bench_function("journaled", |b| b.iter(|| ops_round(&fs, &mut round)));
+    }
+    {
+        let fs = JournaledFs::create(Arc::new(Disk::new()));
+        fs.mkdir("/d").unwrap();
+        let mut round = 0;
+        group.bench_function("journaled_sync_every_op", |b| {
+            b.iter(|| {
+                ops_round(&fs, &mut round);
+                fs.sync().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_append_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_append");
+    let batch: Vec<MicroOp> = (0..8)
+        .map(|i| MicroOp::Ins {
+            parent: 1,
+            name: format!("entry{i}"),
+            child: 100 + i,
+        })
+        .collect();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("append_batch_of_8", |b| {
+        let mut j = Journal::create(Arc::new(Disk::new()));
+        b.iter(|| black_box(j.append(&batch)));
+    });
+    group.bench_function("append_and_commit", |b| {
+        let mut j = Journal::create(Arc::new(Disk::new()));
+        b.iter(|| {
+            j.append(&batch);
+            j.commit();
+        });
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_scan");
+    for records in [100usize, 1000, 10_000] {
+        let disk = Arc::new(Disk::new());
+        let mut j = Journal::create(Arc::clone(&disk));
+        for i in 0..records {
+            j.append(&[
+                MicroOp::Create {
+                    ino: 100 + i as u64,
+                    ftype: FileType::File,
+                },
+                MicroOp::Ins {
+                    parent: 1,
+                    name: format!("f{i}"),
+                    child: 100 + i as u64,
+                },
+            ]);
+        }
+        j.commit();
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            b.iter(|| {
+                let r = recover(&disk);
+                assert_eq!(r.batches.len(), records);
+                black_box(r.end_pos)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_journaled_vs_plain,
+    bench_append_commit,
+    bench_recovery
+);
+criterion_main!(benches);

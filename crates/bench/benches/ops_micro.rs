@@ -1,0 +1,118 @@
+//! Per-operation microbenchmarks of AtomFS: lookup cost versus path
+//! depth (the lock-coupling walk is O(depth) lock hops), create/unlink,
+//! rename within and across directories, and data-path throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use atomfs::AtomFs;
+use atomfs_vfs::fs::FileSystemExt;
+use atomfs_vfs::FileSystem;
+
+fn bench_stat_by_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stat_by_depth");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let fs = AtomFs::new();
+        let mut path = String::new();
+        for i in 0..depth {
+            path.push_str(&format!("/d{i}"));
+            fs.mkdir(&path).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(fs.stat(&path).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_create_unlink(c: &mut Criterion) {
+    let fs = AtomFs::new();
+    fs.mkdir("/d").unwrap();
+    c.bench_function("create_unlink", |b| {
+        b.iter(|| {
+            fs.mknod("/d/f").unwrap();
+            fs.unlink("/d/f").unwrap();
+        });
+    });
+}
+
+fn bench_rename(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rename");
+    {
+        let fs = AtomFs::new();
+        fs.mkdir("/d").unwrap();
+        fs.mknod("/d/a").unwrap();
+        let mut flip = false;
+        group.bench_function("same_dir", |b| {
+            b.iter(|| {
+                let (s, d) = if flip {
+                    ("/d/b", "/d/a")
+                } else {
+                    ("/d/a", "/d/b")
+                };
+                fs.rename(s, d).unwrap();
+                flip = !flip;
+            });
+        });
+    }
+    {
+        let fs = AtomFs::new();
+        fs.mkdir_all("/x/y").unwrap();
+        fs.mkdir_all("/p/q").unwrap();
+        fs.mknod("/x/y/a").unwrap();
+        let mut flip = false;
+        group.bench_function("cross_dir", |b| {
+            b.iter(|| {
+                let (s, d) = if flip {
+                    ("/p/q/a", "/x/y/a")
+                } else {
+                    ("/x/y/a", "/p/q/a")
+                };
+                fs.rename(s, d).unwrap();
+                flip = !flip;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_data_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_path");
+    let fs = AtomFs::new();
+    fs.mknod("/f").unwrap();
+    let data = vec![0xABu8; 64 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("write_64k", |b| {
+        b.iter(|| fs.write("/f", 0, black_box(&data)).unwrap());
+    });
+    let mut buf = vec![0u8; 64 * 1024];
+    group.bench_function("read_64k", |b| {
+        b.iter(|| fs.read("/f", 0, black_box(&mut buf)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_readdir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readdir");
+    for entries in [10usize, 100, 1000] {
+        let fs = AtomFs::new();
+        fs.mkdir("/d").unwrap();
+        for i in 0..entries {
+            fs.mknod(&format!("/d/f{i}")).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| black_box(fs.readdir("/d").unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stat_by_depth,
+    bench_create_unlink,
+    bench_rename,
+    bench_data_path,
+    bench_readdir
+);
+criterion_main!(benches);

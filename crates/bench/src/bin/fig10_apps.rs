@@ -1,0 +1,83 @@
+//! Figure 10 — application workload running time.
+//!
+//! Regenerates the paper's Figure 10: running time (seconds) of the LFS
+//! microbenchmarks and four application workloads on DFSCQ, AtomFS, tmpfs
+//! and ext4 (all as the simulated deployments documented in DESIGN.md).
+//! All workloads are single-threaded, matching §7.2.
+//!
+//! Usage: `cargo run --release -p atomfs-bench --bin fig10_apps [scale]`
+//! where `scale` (default 1.0) shrinks the working sets for quick runs.
+
+use atomfs_bench::report::{secs, Table};
+use atomfs_bench::setups::{build, FIG10_SYSTEMS};
+use atomfs_vfs::fs::FileSystemExt;
+use atomfs_vfs::FileSystem;
+use atomfs_workloads::{apps, lfs};
+
+fn run_workload(fs: &dyn FileSystem, name: &str, scale: f64) -> std::time::Duration {
+    fs.mkdir_all("/bench").expect("setup");
+    // cp-qemu and ripgrep need a pre-built tree, excluded from timing.
+    if name == "cp-qemu" || name == "ripgrep" {
+        apps::build_source_tree(fs, "/bench/src", scale).expect("tree");
+    }
+    if name == "make-xv6" {
+        apps::git_clone(fs, "/bench", scale).expect("clone");
+    }
+    let start = std::time::Instant::now();
+    match name {
+        // The paper: 10 MB largefile, 10k x 1 KB smallfile.
+        "largefile" => {
+            lfs::largefile(fs, "/bench", (10 * 1024 * 1024) as usize).expect("largefile");
+        }
+        "smallfile" => {
+            lfs::smallfile(fs, "/bench", (10_000f64 * scale) as usize, 1024).expect("smallfile");
+        }
+        "git-clone" => {
+            apps::git_clone(fs, "/bench", scale).expect("git-clone");
+        }
+        "make-xv6" => {
+            apps::make_xv6(fs, "/bench", scale).expect("make");
+        }
+        "cp-qemu" => {
+            apps::cp_tree(fs, "/bench/src", "/bench/dst").expect("cp");
+        }
+        "ripgrep" => {
+            apps::ripgrep(fs, "/bench/src", 0x61).expect("rg");
+        }
+        other => panic!("unknown workload {other}"),
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(1.0);
+    let workloads = [
+        "largefile",
+        "smallfile",
+        "git-clone",
+        "make-xv6",
+        "cp-qemu",
+        "ripgrep",
+    ];
+    println!("Figure 10: application workloads, running time in seconds (scale={scale})");
+    println!("paper shape: dfscq slowest (1.38x-2.52x over atomfs); tmpfs/ext4 fastest\n");
+    let mut header = vec!["workload"];
+    header.extend(FIG10_SYSTEMS);
+    let mut table = Table::new(&header);
+    for w in workloads {
+        let mut cells = vec![w.to_string()];
+        for sys in FIG10_SYSTEMS {
+            // A fresh instance per cell keeps workloads independent.
+            let fs = build(sys);
+            let d = run_workload(&*fs, w, scale);
+            cells.push(secs(d));
+        }
+        table.row(cells);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+}

@@ -1,0 +1,199 @@
+//! Figure 11 — multicore scalability on the Filebench personalities.
+//!
+//! Regenerates the paper's Figure 11(a)/(b): speedup (relative to each
+//! system's own single-thread throughput) of AtomFS, AtomFS-biglock and
+//! ext4 on the Fileserver and Webproxy personalities as the thread count
+//! grows to 16.
+//!
+//! The experiment needs a 16-core machine; on hosts without one (this
+//! reproduction environment has a single core) wall-clock threading
+//! cannot exhibit speedup, so the default mode runs on **virtual time**:
+//! each worker's operation stream is executed on the real instrumented
+//! AtomFS to capture its exact lock-acquisition footprint, converted into
+//! a lock/work script, and replayed on an ideal N-core machine by the
+//! `atomfs-locksim` discrete-event engine (see that crate's docs and
+//! DESIGN.md's substitution table). `--measured` instead uses real OS
+//! threads, which is meaningful only on a multicore host.
+//!
+//! Usage:
+//! `cargo run --release -p atomfs-bench --bin fig11_scalability -- [fileserver|webproxy|both] [iters] [--measured]`
+
+use std::sync::Arc;
+
+use atomfs::AtomFs;
+use atomfs_bench::report::{ratio, Table};
+use atomfs_bench::setups::{build, FIG11_SYSTEMS};
+use atomfs_locksim::{plan_from_scripts, simulate, CostModel, ScriptConverter, ThreadPlan};
+use atomfs_trace::{BufferSink, TraceSink};
+use atomfs_workloads::filebench::{Fileserver, Webproxy};
+use atomfs_workloads::run_threads;
+
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn fileserver_cfg() -> Fileserver {
+    Fileserver {
+        dirs: 526,
+        files: 2000, // smaller population than the paper, same shape
+        iosize: 8 * 1024,
+    }
+}
+
+fn webproxy_cfg() -> Webproxy {
+    Webproxy {
+        objects: 500,
+        iosize: 8 * 1024,
+    }
+}
+
+fn cost_model(system: &str) -> CostModel {
+    match system {
+        "atomfs" => CostModel::atomfs_fuse(),
+        "atomfs-biglock" => CostModel::biglock_fuse(),
+        "ext4-sim" => CostModel::ext4_syscall(),
+        other => panic!("no cost model for {other}"),
+    }
+}
+
+/// Capture each virtual worker's operation stream on real instrumented
+/// AtomFS and convert it into simulator plans under `model`.
+fn capture_plans(
+    personality: &str,
+    threads: usize,
+    iters: usize,
+    model: &CostModel,
+) -> Vec<ThreadPlan> {
+    let sink = Arc::new(BufferSink::new());
+    let fs = AtomFs::traced(sink.clone() as Arc<dyn TraceSink>);
+    if personality == "fileserver" {
+        fileserver_cfg().setup(&fs).expect("setup");
+    } else {
+        webproxy_cfg().setup(&fs).expect("setup");
+    }
+    sink.take(); // discard setup events
+    let mut converter = ScriptConverter::new(*model);
+    let mut plans = Vec::new();
+    for t in 0..threads {
+        if personality == "fileserver" {
+            fileserver_cfg().run_thread(&fs, t, iters, 1234);
+        } else {
+            webproxy_cfg().run_thread(&fs, t, iters, 1234);
+        }
+        let scripts = converter.convert(&sink.take());
+        plans.push(plan_from_scripts(&scripts));
+    }
+    plans
+}
+
+fn simulated_series(personality: &str, system: &str, iters: usize) -> Vec<f64> {
+    let model = cost_model(system);
+    THREADS
+        .iter()
+        .map(|&threads| {
+            let plans = capture_plans(personality, threads, iters, &model);
+            let r = simulate(&plans);
+            eprint!(".");
+            r.throughput()
+        })
+        .collect()
+}
+
+fn measured_series(personality: &str, system: &str, iters: usize) -> Vec<f64> {
+    THREADS
+        .iter()
+        .map(|&threads| {
+            let fs = build(system);
+            let result = if personality == "fileserver" {
+                let cfg = fileserver_cfg();
+                cfg.setup(&*fs).expect("setup");
+                run_threads(Arc::new(fs), threads, move |fs, t| {
+                    cfg.run_thread(&**fs, t, iters, 1234)
+                })
+            } else {
+                let cfg = webproxy_cfg();
+                cfg.setup(&*fs).expect("setup");
+                run_threads(Arc::new(fs), threads, move |fs, t| {
+                    cfg.run_thread(&**fs, t, iters, 1234)
+                })
+            };
+            eprint!(".");
+            result.throughput()
+        })
+        .collect()
+}
+
+fn run_personality(name: &str, iters: usize, measured: bool) {
+    println!(
+        "\nFigure 11({}) — {name} speedup over 1 thread ({} cores{})",
+        if name == "fileserver" { 'a' } else { 'b' },
+        if measured {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            16
+        },
+        if measured {
+            ", measured"
+        } else {
+            ", simulated"
+        },
+    );
+    println!("paper shape: atomfs > biglock; atomfs ~1.46x biglock throughput at 16 threads (fileserver), ~1.16x (webproxy); ext4 much faster in absolute terms\n");
+    let mut tps: Vec<Vec<f64>> = Vec::new();
+    for sys in FIG11_SYSTEMS {
+        tps.push(if measured {
+            measured_series(name, sys, iters)
+        } else {
+            simulated_series(name, sys, iters)
+        });
+    }
+    eprintln!();
+    let mut header = vec!["threads"];
+    header.extend(FIG11_SYSTEMS);
+    let mut table = Table::new(&header);
+    for (i, &threads) in THREADS.iter().enumerate() {
+        let mut cells = vec![threads.to_string()];
+        for series in &tps {
+            cells.push(ratio(series[i] / series[0]));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!();
+    let mut t2 = Table::new(&{
+        let mut h = vec!["kops/s"];
+        h.extend(FIG11_SYSTEMS);
+        h
+    });
+    for (i, &threads) in THREADS.iter().enumerate() {
+        let mut cells = vec![format!("@{threads}t")];
+        for series in &tps {
+            cells.push(format!("{:.1}", series[i] / 1e3));
+        }
+        t2.row(cells);
+    }
+    t2.print();
+    let atomfs_16 = tps[0][THREADS.len() - 1];
+    let biglock_16 = tps[1][THREADS.len() - 1];
+    println!(
+        "\natomfs / biglock throughput at 16 threads: {} (paper: 1.46x fileserver, 1.16x webproxy)",
+        ratio(atomfs_16 / biglock_16)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let measured = args.iter().any(|a| a == "--measured");
+    let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let which = pos.first().map(|s| s.as_str()).unwrap_or("both");
+    let iters: usize = pos.get(1).map(|s| s.parse().expect("iters")).unwrap_or(200);
+    match which {
+        "fileserver" => run_personality("fileserver", iters, measured),
+        "webproxy" => run_personality("webproxy", iters, measured),
+        "both" => {
+            run_personality("fileserver", iters, measured);
+            run_personality("webproxy", iters, measured);
+        }
+        other => panic!("unknown personality {other}; use fileserver|webproxy|both"),
+    }
+}

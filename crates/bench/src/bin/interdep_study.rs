@@ -1,0 +1,133 @@
+//! §3.2 — the path inter-dependency generality study.
+//!
+//! The paper logs the begin/end of the critical section of each path-based
+//! operation, runs `rename + op` concurrently with the rename modifying
+//! `op`'s path, and reports the combination as exhibiting *path
+//! inter-dependency* if the rename completes while `op` is inside its
+//! critical section (all 5 combinations did, on all 9 measured file
+//! systems).
+//!
+//! This reproduction stages the experiment deterministically on
+//! instrumented AtomFS: the operation is parked inside its critical
+//! section (its trace gate fires before its LP, i.e. between the paper's
+//! critical-section log points), a rename then moves an ancestor of its
+//! traversed path to completion, and the trace proves the overlap. The
+//! same run is repeated in fixed-LP checker mode to show each overlap
+//! genuinely requires helping. Designs that avoid the phenomenon
+//! (big-lock: serializes; traversal-retry: redoes the lookup) are
+//! contrasted in the closing notes.
+
+use std::sync::Arc;
+
+use atomfs::AtomFs;
+use atomfs_bench::report::Table;
+use atomfs_trace::{set_current_tid, BufferSink, Event, GateSink, Tid, TraceSink};
+use atomfs_vfs::FileSystem;
+use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence};
+
+struct Outcome {
+    overlap: bool,
+    op_succeeded: bool,
+    helps: u64,
+    fixed_lp_fails: bool,
+}
+
+/// Stage `op` against a rename that breaks its path on instrumented
+/// AtomFS and analyze the recorded trace with both checker modes.
+fn stage(op: &str) -> Outcome {
+    let sink = Arc::new(GateSink::new(BufferSink::new()));
+    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/a/b").unwrap();
+    fs.mknod("/a/b/victim").unwrap();
+    fs.mkdir("/a/b/vdir").unwrap();
+    fs.mkdir("/other").unwrap();
+
+    // Park the operation inside its critical section, holding locks
+    // strictly below /a (the inode the rename moves).
+    let gate = sink.add_gate(|e| matches!(e, Event::Lp { tid } if *tid == Tid(7001)));
+    let fs2 = Arc::clone(&fs);
+    let op_name = op.to_string();
+    let worker = std::thread::spawn(move || {
+        set_current_tid(Tid(7001));
+        match op_name.as_str() {
+            "create" => fs2.mknod("/a/b/new"),
+            "mkdir" => fs2.mkdir("/a/b/newdir"),
+            "unlink" => fs2.unlink("/a/b/victim"),
+            "rmdir" => fs2.rmdir("/a/b/vdir"),
+            "rename" => fs2.rename("/a/b/victim", "/a/b/renamed"),
+            other => panic!("unknown op {other}"),
+        }
+    });
+    sink.wait_parked(gate);
+
+    // The rename moves /a — the operation's traversed path — to completion.
+    set_current_tid(Tid(7002));
+    let rename_done = fs.rename("/a", "/other/a2").is_ok();
+    let parked = sink.is_parked(gate);
+    sink.open(gate);
+    let op_succeeded = worker.join().unwrap().is_ok();
+
+    let events = sink.inner().take();
+    let helped = LpChecker::check(
+        CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::AtUnlock,
+            invariants: true,
+        },
+        &events,
+    );
+    helped.assert_ok();
+    let fixed = LpChecker::check(
+        CheckerConfig {
+            mode: HelperMode::FixedLp,
+            relation: RelationCadence::AtEnd,
+            invariants: false,
+        },
+        &events,
+    );
+    Outcome {
+        overlap: rename_done && parked,
+        op_succeeded,
+        helps: helped.stats.helps,
+        fixed_lp_fails: !fixed.is_ok(),
+    }
+}
+
+fn main() {
+    let ops = ["create", "mkdir", "unlink", "rmdir", "rename"];
+    println!("§3.2 path inter-dependency study on AtomFS (staged; all overlaps deterministic)");
+    println!("paper: all 5 rename+op combinations overlap on all 9 measured file systems\n");
+    let mut table = Table::new(&[
+        "rename + op",
+        "overlap",
+        "op result",
+        "threads helped",
+        "fixed-LP linearizes?",
+    ]);
+    for op in ops {
+        let o = stage(op);
+        table.row(vec![
+            format!("rename + {op}"),
+            if o.overlap { "yes" } else { "NO" }.to_string(),
+            if o.op_succeeded { "success" } else { "failure" }.to_string(),
+            o.helps.to_string(),
+            if o.fixed_lp_fails {
+                "no (needs helpers)"
+            } else {
+                "yes"
+            }
+            .to_string(),
+        ]);
+        eprint!(".");
+    }
+    eprintln!();
+    table.print();
+    println!(
+        "\nDesign contrast (per §5.1):\n\
+         - atomfs-biglock: a global lock forbids critical-section overlap entirely,\n\
+           eliminating path inter-dependency along with all concurrency.\n\
+         - retryfs (Linux-VFS style): walks that raced a rename are revalidated and\n\
+           redone, so operations never commit on a stale path and never need helping."
+    );
+}

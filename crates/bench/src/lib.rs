@@ -1,0 +1,14 @@
+//! Experiment harness for the AtomFS reproduction.
+//!
+//! One binary per paper table/figure (see DESIGN.md's experiment index):
+//!
+//! * `fig10_apps` — Figure 10, application workload running times;
+//! * `fig11_scalability` — Figure 11(a)/(b), Filebench speedups;
+//! * `interdep_study` — the §3.2 path inter-dependency study;
+//! * `conformance` — the xfstests analog (§6's 418/451 scorecard);
+//! * `loc_table` — the Table 2 inventory.
+//!
+//! Criterion micro/ablation benchmarks live in `benches/`.
+
+pub mod report;
+pub mod setups;

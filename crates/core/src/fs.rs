@@ -1,0 +1,117 @@
+//! The AtomFS file system object.
+
+use std::sync::Arc;
+
+use atomfs_trace::{Event, TraceSink};
+
+use crate::blocks::BlockStore;
+use crate::table::InodeTable;
+
+/// Sizing knobs for an [`AtomFs`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomFsConfig {
+    /// Maximum number of live inodes.
+    pub max_inodes: usize,
+    /// Maximum number of 4 KiB data blocks.
+    pub max_blocks: usize,
+}
+
+impl Default for AtomFsConfig {
+    fn default() -> Self {
+        AtomFsConfig {
+            max_inodes: 1 << 20,
+            max_blocks: 1 << 20, // 4 GiB of file data
+        }
+    }
+}
+
+/// AtomFS: a fine-grained concurrent in-memory file system.
+///
+/// Every operation takes per-inode locks along its path using lock
+/// coupling (hand-over-hand), which establishes the paper's
+/// *non-bypassable criterion* (§5.1) and makes every interface
+/// linearizable. File data lives in a shared [`BlockStore`]; directories
+/// are chained hash tables.
+///
+/// An instance built with [`AtomFs::traced`] additionally reports every
+/// atomic step (lock transitions, mutations, linearization points) to a
+/// [`TraceSink`], which is how the CRL-H checker in the `crlh` crate
+/// validates executions. Untraced instances skip all instrumentation.
+///
+/// # Examples
+///
+/// ```
+/// use atomfs::AtomFs;
+/// use atomfs_vfs::FileSystem;
+///
+/// let fs = AtomFs::new();
+/// fs.mkdir("/a").unwrap();
+/// fs.mknod("/a/f").unwrap();
+/// fs.write("/a/f", 0, b"hello").unwrap();
+/// fs.rename("/a/f", "/a/g").unwrap();
+/// assert_eq!(fs.stat("/a/g").unwrap().size, 5);
+/// ```
+pub struct AtomFs {
+    pub(crate) table: InodeTable,
+    pub(crate) store: BlockStore,
+    pub(crate) sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl Default for AtomFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomFs {
+    /// Create an untraced file system with default sizing.
+    pub fn new() -> Self {
+        Self::with_config(AtomFsConfig::default())
+    }
+
+    /// Create an untraced file system with explicit sizing.
+    pub fn with_config(cfg: AtomFsConfig) -> Self {
+        AtomFs {
+            table: InodeTable::new(cfg.max_inodes),
+            store: BlockStore::new(cfg.max_blocks),
+            sink: None,
+        }
+    }
+
+    /// Create an instrumented file system reporting to `sink`.
+    pub fn traced(sink: Arc<dyn TraceSink>) -> Self {
+        Self::traced_with_config(sink, AtomFsConfig::default())
+    }
+
+    /// Create an instrumented file system with explicit sizing.
+    pub fn traced_with_config(sink: Arc<dyn TraceSink>, cfg: AtomFsConfig) -> Self {
+        AtomFs {
+            table: InodeTable::new(cfg.max_inodes),
+            store: BlockStore::new(cfg.max_blocks),
+            sink: Some(sink),
+        }
+    }
+
+    /// Whether instrumentation is active.
+    pub fn is_traced(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Number of live inodes (including the root).
+    pub fn live_inodes(&self) -> usize {
+        self.table.live()
+    }
+
+    /// Number of allocated data blocks.
+    pub fn allocated_blocks(&self) -> usize {
+        self.store.allocated()
+    }
+
+    /// Emit an instrumentation event; free when untraced.
+    #[inline]
+    pub(crate) fn emit(&self, ev: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(ev());
+        }
+    }
+}

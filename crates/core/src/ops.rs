@@ -1,0 +1,649 @@
+//! The POSIX-like operations of AtomFS (Figure 2 of the paper, completed
+//! with error handling and the data-path interfaces).
+//!
+//! Every operation follows the same instrumentation protocol, which is
+//! what the CRL-H checker replays:
+//!
+//! 1. `OpBegin` with the abstract operation description;
+//! 2. `Lock`/`Unlock` events for the lock-coupling walk;
+//! 3. `Mutate` events for each inode-granularity change, emitted inside
+//!    the critical section;
+//! 4. exactly one `Lp` event, emitted **at the instant the outcome is
+//!    decided while the deciding locks are still held** — after the last
+//!    mutation for successful updates (Figure 2's LP markers), or at the
+//!    failure point for errors;
+//! 5. `OpEnd` with the concrete result.
+//!
+//! Operations that fail before touching any shared state (unparseable
+//! paths) emit no events at all: they never observe or modify the file
+//! system, so they are trivially linearizable.
+//!
+//! `rename` is the interesting case: its traversal follows §5.2 — lock
+//! couple to the last common inode of the two parent paths, hold it while
+//! walking both branches, release it only once both parent directories are
+//! locked, then lock target inodes (destination first, Figure 2), mutate,
+//! and pass the LP at which the checker runs the `linothers` helper.
+
+use atomfs_trace::{current_tid, Event, MicroOp, OpDesc, OpRet, PathTag, StatRet, Tid};
+use atomfs_vfs::path::normalize;
+use atomfs_vfs::{FileSystem, FileType, FsError, FsResult, Metadata};
+
+use crate::fs::AtomFs;
+use crate::walk::Locked;
+
+impl AtomFs {
+    /// Emit the failure LP at the current decision point, release every
+    /// held lock, and propagate the error.
+    fn fail(&self, tid: Tid, err: FsError, held: Vec<Locked>) -> FsError {
+        self.emit(|| Event::Lp { tid });
+        for l in held {
+            self.unlock(tid, l);
+        }
+        err
+    }
+
+    /// Emit a stateless LP (for operations whose outcome is decided by the
+    /// arguments alone, e.g. `mkdir("/")`).
+    fn stateless_lp(&self, tid: Tid) {
+        self.emit(|| Event::Lp { tid });
+    }
+
+    fn create_entry(&self, path: &str, ftype: FileType) -> FsResult<()> {
+        let comps = normalize(path)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: match ftype {
+                FileType::File => OpDesc::Mknod {
+                    path: comps.clone(),
+                },
+                FileType::Dir => OpDesc::Mkdir {
+                    path: comps.clone(),
+                },
+            },
+        });
+        let result = self.create_inner(tid, &comps, ftype);
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(()) => OpRet::Ok,
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+
+    fn create_inner(&self, tid: Tid, comps: &[String], ftype: FileType) -> FsResult<()> {
+        let Some((name, parent)) = comps.split_last() else {
+            // Creating "/" always fails: the root exists.
+            self.stateless_lp(tid);
+            return Err(FsError::Exists);
+        };
+        let mut p = self
+            .walk(tid, parent, PathTag::Common)
+            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+        if p.as_dir().is_err() {
+            return Err(self.fail(tid, FsError::NotDir, vec![p]));
+        }
+        if p.as_dir().expect("checked").lookup(name).is_some() {
+            return Err(self.fail(tid, FsError::Exists, vec![p]));
+        }
+        let (ino, _iref) = match self.table.alloc(ftype) {
+            Ok(x) => x,
+            Err(e) => return Err(self.fail(tid, e, vec![p])),
+        };
+        self.emit(|| Event::Mutate {
+            tid,
+            mop: MicroOp::Create { ino, ftype },
+        });
+        let pino = p.ino;
+        let inserted = p
+            .as_dir_mut()
+            .expect("checked")
+            .insert(name, ino, ftype.is_dir());
+        debug_assert!(inserted, "existence was checked under the same lock");
+        self.emit(|| Event::Mutate {
+            tid,
+            mop: MicroOp::Ins {
+                parent: pino,
+                name: name.clone(),
+                child: ino,
+            },
+        });
+        self.emit(|| Event::Lp { tid });
+        self.unlock(tid, p);
+        Ok(())
+    }
+
+    fn remove_entry(&self, path: &str, want_dir: bool) -> FsResult<()> {
+        let comps = normalize(path)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: if want_dir {
+                OpDesc::Rmdir {
+                    path: comps.clone(),
+                }
+            } else {
+                OpDesc::Unlink {
+                    path: comps.clone(),
+                }
+            },
+        });
+        let result = self.remove_inner(tid, &comps, want_dir);
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(()) => OpRet::Ok,
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+
+    fn remove_inner(&self, tid: Tid, comps: &[String], want_dir: bool) -> FsResult<()> {
+        let Some((name, parent)) = comps.split_last() else {
+            self.stateless_lp(tid);
+            return Err(if want_dir {
+                FsError::Busy // rmdir("/")
+            } else {
+                FsError::IsDir // unlink("/")
+            });
+        };
+        let mut p = self
+            .walk(tid, parent, PathTag::Common)
+            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+        if p.as_dir().is_err() {
+            return Err(self.fail(tid, FsError::NotDir, vec![p]));
+        }
+        let Some(child_ino) = p.as_dir().expect("checked").lookup(name) else {
+            return Err(self.fail(tid, FsError::NotFound, vec![p]));
+        };
+        let child_ref = self
+            .table
+            .get(child_ino)
+            .expect("directory entry points at a live inode");
+        // Lock coupling continues into the victim (Figure 2's `lock(node)`).
+        let mut c = self.lock_inode(tid, child_ino, &child_ref, PathTag::Common);
+        let cftype = c.ftype();
+        if want_dir && cftype == FileType::File {
+            return Err(self.fail(tid, FsError::NotDir, vec![c, p]));
+        }
+        if !want_dir && cftype == FileType::Dir {
+            return Err(self.fail(tid, FsError::IsDir, vec![c, p]));
+        }
+        if want_dir && !c.as_dir().expect("checked").is_empty() {
+            return Err(self.fail(tid, FsError::NotEmpty, vec![c, p]));
+        }
+        let pino = p.ino;
+        let removed = p
+            .as_dir_mut()
+            .expect("checked")
+            .remove(name, cftype.is_dir());
+        debug_assert_eq!(removed, Some(child_ino));
+        self.emit(|| Event::Mutate {
+            tid,
+            mop: MicroOp::Del {
+                parent: pino,
+                name: name.clone(),
+                child: child_ino,
+            },
+        });
+        self.emit(|| Event::Lp { tid });
+        self.unlock(tid, p);
+        // Free the victim's storage while still holding its lock (the
+        // paper's `free(node)`), then release and recycle the inode. The
+        // clear is itself a mutation: reporting it keeps every recorded
+        // effect invertible, which the roll-back mechanism requires.
+        // With open inode handles (§5.4 extension, untraced instances
+        // only) the clear is deferred to the last handle close.
+        let traced = self.is_traced();
+        let old = (traced && c.as_file().is_ok())
+            .then(|| c.as_file().expect("checked").snapshot(&self.store));
+        let cleared_now = crate::handles::release_or_defer(&mut c.guard, &self.store);
+        if cleared_now {
+            if let Some(old) = old.filter(|o| !o.is_empty()) {
+                self.emit(|| Event::Mutate {
+                    tid,
+                    mop: MicroOp::SetData {
+                        ino: child_ino,
+                        old,
+                        new: Vec::new(),
+                    },
+                });
+            }
+        }
+        self.emit(|| Event::Mutate {
+            tid,
+            mop: MicroOp::Remove {
+                ino: child_ino,
+                ftype: cftype,
+            },
+        });
+        self.unlock(tid, c);
+        self.table.free(child_ino);
+        Ok(())
+    }
+
+    fn rename_inner(&self, tid: Tid, src: &[String], dst: &[String]) -> FsResult<()> {
+        if src.is_empty() || dst.is_empty() {
+            self.stateless_lp(tid);
+            return Err(FsError::Busy);
+        }
+        if src.len() < dst.len() && dst[..src.len()] == src[..] {
+            // Renaming a directory into its own subtree.
+            self.stateless_lp(tid);
+            return Err(FsError::InvalidArgument);
+        }
+        let dst_is_ancestor_of_src = dst.len() < src.len() && src[..dst.len()] == dst[..];
+        let (sn, sp) = src.split_last().expect("nonempty");
+        let (dn, dp) = dst.split_last().expect("nonempty");
+
+        if src == dst {
+            // POSIX: renaming a path to itself succeeds iff it exists.
+            let p = self
+                .walk(tid, sp, PathTag::Common)
+                .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+            let exists = match p.as_dir() {
+                Ok(d) => d.lookup(sn).is_some(),
+                Err(e) => return Err(self.fail(tid, e, vec![p])),
+            };
+            if !exists {
+                return Err(self.fail(tid, FsError::NotFound, vec![p]));
+            }
+            self.emit(|| Event::Lp { tid });
+            self.unlock(tid, p);
+            return Ok(());
+        }
+
+        // Phase 1: lock couple to the last common inode of the parents.
+        let clen = sp.iter().zip(dp.iter()).take_while(|(a, b)| a == b).count();
+        let common = self
+            .walk(tid, &sp[..clen], PathTag::Common)
+            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+
+        // Phase 2: walk both branches while `common` stays locked.
+        let send = match self.branch_walk(tid, &common, &sp[clen..], PathTag::Src) {
+            Ok(x) => x,
+            Err((e, held)) => {
+                let mut locks: Vec<Locked> = held.into_iter().collect();
+                locks.push(common);
+                return Err(self.fail(tid, e, locks));
+            }
+        };
+        let dend = match self.branch_walk(tid, &common, &dp[clen..], PathTag::Dst) {
+            Ok(x) => x,
+            Err((e, held)) => {
+                let mut locks: Vec<Locked> = held.into_iter().collect();
+                locks.extend(send);
+                locks.push(common);
+                return Err(self.fail(tid, e, locks));
+            }
+        };
+
+        // Phase 3: identify sdir/ddir; release `common` only once both
+        // parent directories are locked (§5.2 deadlock-freedom).
+        // `ddir` is `None` when source and destination share the parent.
+        let (mut sdir, mut ddir): (Locked, Option<Locked>) = match (send, dend) {
+            (None, None) => (common, None),
+            (Some(s), None) => (s, Some(common)),
+            (None, Some(d)) => (common, Some(d)),
+            (Some(s), Some(d)) => {
+                self.unlock(tid, common);
+                (s, Some(d))
+            }
+        };
+
+        macro_rules! held {
+            () => {{
+                let mut v = Vec::new();
+                v.push(sdir);
+                v.extend(ddir);
+                v
+            }};
+        }
+
+        if sdir.as_dir().is_err() || ddir.as_ref().is_some_and(|d| d.as_dir().is_err()) {
+            return Err(self.fail(tid, FsError::NotDir, held!()));
+        }
+        let Some(snode_ino) = sdir.as_dir().expect("checked").lookup(sn) else {
+            return Err(self.fail(tid, FsError::NotFound, held!()));
+        };
+        if dst_is_ancestor_of_src {
+            // The destination is a directory on the source's own path; it
+            // necessarily exists and is non-empty.
+            return Err(self.fail(tid, FsError::NotEmpty, held!()));
+        }
+        let ddir_dir = ddir.as_ref().unwrap_or(&sdir);
+        let dnode_ino = ddir_dir.as_dir().expect("checked").lookup(dn);
+        if dnode_ino == Some(snode_ino) {
+            // Same inode under both names (only possible with hard links,
+            // which AtomFS does not support; kept for POSIX conformance).
+            self.emit(|| Event::Lp { tid });
+            for l in held!() {
+                self.unlock(tid, l);
+            }
+            return Ok(());
+        }
+
+        // Phase 4: lock destination victim then source node (Figure 2).
+        let dnode = dnode_ino.map(|ino| {
+            let r = self.table.get(ino).expect("live");
+            self.lock_inode(tid, ino, &r, PathTag::Dst)
+        });
+        let snode_ref = self.table.get(snode_ino).expect("live");
+        let snode = self.lock_inode(tid, snode_ino, &snode_ref, PathTag::Src);
+
+        let s_is_dir = snode.ftype().is_dir();
+        if let Some(d) = &dnode {
+            let d_is_dir = d.ftype().is_dir();
+            let err = if s_is_dir && !d_is_dir {
+                Some(FsError::NotDir)
+            } else if !s_is_dir && d_is_dir {
+                Some(FsError::IsDir)
+            } else if d_is_dir && !d.as_dir().expect("checked").is_empty() {
+                Some(FsError::NotEmpty)
+            } else {
+                None
+            };
+            if let Some(e) = err {
+                let mut locks = vec![snode];
+                locks.extend(dnode);
+                locks.push(sdir);
+                locks.extend(ddir);
+                return Err(self.fail(tid, e, locks));
+            }
+        }
+
+        // Phase 5: mutate. All touched inodes are locked, so the
+        // abstraction relation is relaxed until the unlocks below.
+        let sdir_ino = sdir.ino;
+        let ddir_ino = ddir.as_ref().map(|d| d.ino).unwrap_or(sdir_ino);
+        let mut dnode_freed = None;
+        if let Some(mut d) = dnode {
+            let d_is_dir = d.ftype().is_dir();
+            let removed = ddir
+                .as_mut()
+                .unwrap_or(&mut sdir)
+                .as_dir_mut()
+                .expect("checked")
+                .remove(dn, d_is_dir);
+            debug_assert_eq!(removed, Some(d.ino));
+            let (dino, dft) = (d.ino, d.ftype());
+            self.emit(|| Event::Mutate {
+                tid,
+                mop: MicroOp::Del {
+                    parent: ddir_ino,
+                    name: dn.clone(),
+                    child: dino,
+                },
+            });
+            let traced = self.is_traced();
+            let old = (traced && d.as_file().is_ok())
+                .then(|| d.as_file().expect("checked").snapshot(&self.store));
+            if crate::handles::release_or_defer(&mut d.guard, &self.store) {
+                if let Some(old) = old.filter(|o| !o.is_empty()) {
+                    self.emit(|| Event::Mutate {
+                        tid,
+                        mop: MicroOp::SetData {
+                            ino: dino,
+                            old,
+                            new: Vec::new(),
+                        },
+                    });
+                }
+            }
+            self.emit(|| Event::Mutate {
+                tid,
+                mop: MicroOp::Remove {
+                    ino: dino,
+                    ftype: dft,
+                },
+            });
+            dnode_freed = Some(d);
+        }
+        let removed = sdir.as_dir_mut().expect("checked").remove(sn, s_is_dir);
+        debug_assert_eq!(removed, Some(snode_ino));
+        self.emit(|| Event::Mutate {
+            tid,
+            mop: MicroOp::Del {
+                parent: sdir_ino,
+                name: sn.clone(),
+                child: snode_ino,
+            },
+        });
+        let inserted = ddir
+            .as_mut()
+            .unwrap_or(&mut sdir)
+            .as_dir_mut()
+            .expect("checked")
+            .insert(dn, snode_ino, s_is_dir);
+        debug_assert!(inserted, "destination entry was removed or absent");
+        self.emit(|| Event::Mutate {
+            tid,
+            mop: MicroOp::Ins {
+                parent: ddir_ino,
+                name: dn.clone(),
+                child: snode_ino,
+            },
+        });
+
+        // The LP: here the checker runs `linothers`, helping every thread
+        // whose traversed path this rename just broke (§3.4).
+        self.emit(|| Event::Lp { tid });
+
+        // Phase 6: release (Figure 2's unlock order), then free the victim.
+        self.unlock(tid, snode);
+        self.unlock(tid, sdir);
+        if let Some(d) = ddir {
+            self.unlock(tid, d);
+        }
+        if let Some(d) = dnode_freed {
+            let dino = d.ino;
+            self.unlock(tid, d);
+            self.table.free(dino);
+        }
+        Ok(())
+    }
+
+    /// Walk the full path and apply `f` to the locked final inode; emits
+    /// the LP after `f` decides the outcome.
+    fn with_node<T>(
+        &self,
+        tid: Tid,
+        comps: &[String],
+        f: impl FnOnce(&mut Locked) -> FsResult<T>,
+    ) -> FsResult<T> {
+        let mut node = self
+            .walk(tid, comps, PathTag::Common)
+            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+        match f(&mut node) {
+            Ok(v) => {
+                self.emit(|| Event::Lp { tid });
+                self.unlock(tid, node);
+                Ok(v)
+            }
+            Err(e) => Err(self.fail(tid, e, vec![node])),
+        }
+    }
+}
+
+impl FileSystem for AtomFs {
+    fn name(&self) -> &'static str {
+        "atomfs"
+    }
+
+    fn mknod(&self, path: &str) -> FsResult<()> {
+        self.create_entry(path, FileType::File)
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.create_entry(path, FileType::Dir)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.remove_entry(path, false)
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.remove_entry(path, true)
+    }
+
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        let src = normalize(src)?;
+        let dst = normalize(dst)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: OpDesc::Rename {
+                src: src.clone(),
+                dst: dst.clone(),
+            },
+        });
+        let result = self.rename_inner(tid, &src, &dst);
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(()) => OpRet::Ok,
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let comps = normalize(path)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: OpDesc::Stat {
+                path: comps.clone(),
+            },
+        });
+        let result = self.with_node(tid, &comps, |node| Ok(node.metadata(node.ino)));
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(m) => OpRet::Stat(StatRet::from_metadata(m)),
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        let comps = normalize(path)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: OpDesc::Readdir {
+                path: comps.clone(),
+            },
+        });
+        let result = self.with_node(tid, &comps, |node| Ok(node.as_dir()?.names()));
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(names) => OpRet::names(names.clone()),
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+
+    fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let comps = normalize(path)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: OpDesc::Read {
+                path: comps.clone(),
+                offset,
+                len: buf.len(),
+            },
+        });
+        let result = self.with_node(tid, &comps, |node| {
+            let f = node.as_file()?;
+            Ok(f.read(&self.store, offset, buf))
+        });
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(n) => OpRet::Data(buf[..*n].to_vec()),
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let comps = normalize(path)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: OpDesc::Write {
+                path: comps.clone(),
+                offset,
+                data: data.to_vec(),
+            },
+        });
+        let traced = self.is_traced();
+        let result = self.with_node(tid, &comps, |node| {
+            let ino = node.ino;
+            let f = node.as_file_mut()?;
+            let old = traced.then(|| f.snapshot(&self.store));
+            let n = f.write(&self.store, offset, data)?;
+            if let Some(old) = old {
+                let new = f.snapshot(&self.store);
+                self.emit(|| Event::Mutate {
+                    tid,
+                    mop: MicroOp::SetData { ino, old, new },
+                });
+            }
+            Ok(n)
+        });
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(n) => OpRet::Written(*n),
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        let comps = normalize(path)?;
+        let tid = current_tid();
+        self.emit(|| Event::OpBegin {
+            tid,
+            op: OpDesc::Truncate {
+                path: comps.clone(),
+                size,
+            },
+        });
+        let traced = self.is_traced();
+        let result = self.with_node(tid, &comps, |node| {
+            let ino = node.ino;
+            let f = node.as_file_mut()?;
+            let old = traced.then(|| f.snapshot(&self.store));
+            f.truncate(&self.store, size)?;
+            if let Some(old) = old {
+                let new = f.snapshot(&self.store);
+                self.emit(|| Event::Mutate {
+                    tid,
+                    mop: MicroOp::SetData { ino, old, new },
+                });
+            }
+            Ok(())
+        });
+        self.emit(|| Event::OpEnd {
+            tid,
+            ret: match &result {
+                Ok(()) => OpRet::Ok,
+                Err(e) => OpRet::Err(*e),
+            },
+        });
+        result
+    }
+}

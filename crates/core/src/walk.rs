@@ -1,0 +1,218 @@
+//! Lock-coupling path traversal.
+//!
+//! AtomFS traverses paths hand-over-hand: it always acquires the next
+//! inode's lock before releasing the current one (§5.1). This makes
+//! operations *non-bypassable* — no operation can overtake another one on
+//! the same path — which is the property the paper's helper proofs rely
+//! on: once a rename logically linearizes (helps) an in-flight operation,
+//! no other operation can slip underneath it and change the outcome it was
+//! linearized with.
+//!
+//! Renames use a two-phase traversal (§5.2): couple down to the *last
+//! common inode* of source and destination parent paths, then walk each
+//! branch while keeping the common inode locked until both parent
+//! directories are held. Holding the common inode pins the divergence
+//! point, which is what makes concurrent renames deadlock-free: any wait
+//! chain descends the tree.
+
+use parking_lot::{ArcMutexGuard, RawMutex};
+
+use atomfs_trace::{Event, Inum, PathTag, Tid, ROOT_INUM};
+use atomfs_vfs::FsError;
+
+use crate::fs::AtomFs;
+use crate::inode::InodeData;
+use crate::table::InodeRef;
+
+/// An inode whose lock is held by the current thread.
+///
+/// Dropping a `Locked` without going through [`AtomFs::unlock`] would skip
+/// the `Unlock` trace event, so operation code always releases explicitly.
+pub(crate) struct Locked {
+    /// The inode's number.
+    pub ino: Inum,
+    /// The owned guard over the inode's contents.
+    pub guard: ArcMutexGuard<RawMutex, InodeData>,
+}
+
+impl std::fmt::Debug for Locked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Locked(ino={})", self.ino)
+    }
+}
+
+impl std::ops::Deref for Locked {
+    type Target = InodeData;
+    fn deref(&self) -> &InodeData {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for Locked {
+    fn deref_mut(&mut self) -> &mut InodeData {
+        &mut self.guard
+    }
+}
+
+impl AtomFs {
+    /// Acquire `ino`'s lock, emitting the `Lock` event while holding it.
+    pub(crate) fn lock_inode(&self, tid: Tid, ino: Inum, iref: &InodeRef, tag: PathTag) -> Locked {
+        let guard = parking_lot::Mutex::lock_arc(iref);
+        self.emit(|| Event::Lock { tid, ino, tag });
+        Locked { ino, guard }
+    }
+
+    /// Release a held inode lock, emitting `Unlock` while still holding it.
+    pub(crate) fn unlock(&self, tid: Tid, locked: Locked) {
+        self.emit(|| Event::Unlock {
+            tid,
+            ino: locked.ino,
+        });
+        drop(locked.guard);
+    }
+
+    /// Walk from the root through `comps` with lock coupling, returning the
+    /// final inode locked.
+    ///
+    /// On failure the deepest lock still held is returned alongside the
+    /// error so the caller can place its linearization point at the instant
+    /// the failure was decided, then release.
+    pub(crate) fn walk(
+        &self,
+        tid: Tid,
+        comps: &[String],
+        tag: PathTag,
+    ) -> Result<Locked, (FsError, Locked)> {
+        let root = self.table.root();
+        let mut cur = self.lock_inode(tid, ROOT_INUM, &root, tag);
+        for name in comps {
+            match self.step(tid, &cur, name, tag) {
+                Ok(child) => {
+                    self.unlock(tid, cur);
+                    cur = child;
+                }
+                Err(e) => return Err((e, cur)),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Walk down `comps` starting below `start`, which remains locked and
+    /// untouched (the rename branch walk of §5.2).
+    ///
+    /// Returns `None` when `comps` is empty (the branch ends at `start`).
+    /// On failure, returns the deepest *branch* lock still held (or `None`
+    /// if the failure was decided while only `start` was held).
+    pub(crate) fn branch_walk(
+        &self,
+        tid: Tid,
+        start: &Locked,
+        comps: &[String],
+        tag: PathTag,
+    ) -> Result<Option<Locked>, (FsError, Option<Locked>)> {
+        let Some((first, rest)) = comps.split_first() else {
+            return Ok(None);
+        };
+        let mut cur = match self.step(tid, start, first, tag) {
+            Ok(child) => child,
+            Err(e) => return Err((e, None)),
+        };
+        for name in rest {
+            match self.step(tid, &cur, name, tag) {
+                Ok(child) => {
+                    self.unlock(tid, cur);
+                    cur = child;
+                }
+                Err(e) => return Err((e, Some(cur))),
+            }
+        }
+        Ok(Some(cur))
+    }
+
+    /// Lock the child `name` of the locked directory `cur`.
+    fn step(&self, tid: Tid, cur: &Locked, name: &str, tag: PathTag) -> Result<Locked, FsError> {
+        let dir = cur.guard.as_dir()?;
+        let child_ino = dir.lookup(name).ok_or(FsError::NotFound)?;
+        let child_ref = self
+            .table
+            .get(child_ino)
+            .expect("directory entry points at a live inode");
+        Ok(self.lock_inode(tid, child_ino, &child_ref, tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs_trace::current_tid;
+    use atomfs_vfs::FileSystem;
+
+    #[test]
+    fn walk_reaches_nested_dirs() {
+        let fs = AtomFs::new();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        let tid = current_tid();
+        let comps = vec!["a".to_string(), "b".to_string()];
+        let locked = fs.walk(tid, &comps, PathTag::Common).unwrap();
+        assert!(locked.guard.as_dir().is_ok());
+        let ino = locked.ino;
+        fs.unlock(tid, locked);
+        assert_ne!(ino, ROOT_INUM);
+    }
+
+    #[test]
+    fn walk_missing_component_fails_with_lock_held() {
+        let fs = AtomFs::new();
+        fs.mkdir("/a").unwrap();
+        let tid = current_tid();
+        let comps = vec!["a".to_string(), "missing".to_string(), "x".to_string()];
+        let (err, held) = fs.walk(tid, &comps, PathTag::Common).unwrap_err();
+        assert_eq!(err, FsError::NotFound);
+        // The deepest lock held is /a, where the failure was decided.
+        assert!(held.guard.as_dir().is_ok());
+        fs.unlock(tid, held);
+    }
+
+    #[test]
+    fn walk_through_file_is_notdir() {
+        let fs = AtomFs::new();
+        fs.mknod("/f").unwrap();
+        let tid = current_tid();
+        let comps = vec!["f".to_string(), "x".to_string()];
+        let (err, held) = fs.walk(tid, &comps, PathTag::Common).unwrap_err();
+        assert_eq!(err, FsError::NotDir);
+        fs.unlock(tid, held);
+    }
+
+    #[test]
+    fn branch_walk_keeps_start_locked() {
+        let fs = AtomFs::new();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        let tid = current_tid();
+        let start = fs.walk(tid, &[], PathTag::Common).unwrap(); // root
+        let comps = vec!["a".to_string(), "b".to_string()];
+        let end = fs
+            .branch_walk(tid, &start, &comps, PathTag::Src)
+            .unwrap()
+            .unwrap();
+        // Both root and /a/b are held simultaneously.
+        assert!(start.guard.as_dir().is_ok());
+        assert!(end.guard.as_dir().is_ok());
+        fs.unlock(tid, end);
+        fs.unlock(tid, start);
+    }
+
+    #[test]
+    fn branch_walk_empty_is_none() {
+        let fs = AtomFs::new();
+        let tid = current_tid();
+        let start = fs.walk(tid, &[], PathTag::Common).unwrap();
+        assert!(fs
+            .branch_walk(tid, &start, &[], PathTag::Dst)
+            .unwrap()
+            .is_none());
+        fs.unlock(tid, start);
+    }
+}

@@ -1,0 +1,958 @@
+//! The LP-based simulation checker — the executable counterpart of the
+//! paper's mechanized forward-simulation proof.
+//!
+//! [`LpChecker`] replays a totally-ordered trace of atomic steps emitted
+//! by an instrumented file system and maintains, in lockstep:
+//!
+//! * a **shadow concrete state** advanced by `Mutate` events;
+//! * the **abstract state** advanced by abstract operations at `Lp`
+//!   events — with the `linothers` helper run first at every rename LP
+//!   ([`HelperMode::Helpers`]);
+//! * the **ghost state** (thread pool, descriptors, Helplist, bindings)
+//!   maintained from all events.
+//!
+//! At configurable points it validates the abstraction relation via
+//! roll-back, the rely/guarantee transition shape (mutations only under
+//! the mutating thread's locks), and the paper's Table-1 invariants; at
+//! every `OpEnd` it checks the concrete return value against the abstract
+//! one — the simulation proof's return-value obligation. A trace checks
+//! clean iff the recorded execution is linearizable *with the specific
+//! linearization the LPs + helpers dictate* (the generic `wgl` checker
+//! cross-validates the weaker order-free statement on small histories).
+//!
+//! Running with [`HelperMode::FixedLp`] disables helping and reproduces
+//! the paper's Figure 1: interleavings with path inter-dependency are
+//! then flagged as return-value mismatches, demonstrating why fixed LPs
+//! are insufficient for concurrent file systems.
+
+use std::collections::{HashMap, VecDeque};
+
+use atomfs_trace::{Event, Inum, MicroOp, OpDesc, OpRet, PathTag, Tid};
+use atomfs_vfs::FileType;
+
+use crate::afs::apply_aop;
+use crate::ghost::{AopState, Binding, ThreadPool};
+use crate::helper::{help_set, linearize_before_set, total_order};
+use crate::invariants;
+use crate::rollback::{relation_violations, rolled_back};
+use crate::state::FsState;
+
+/// Whether rename LPs run the helper mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelperMode {
+    /// Full CRL-H: `linothers` at every rename LP (the paper's approach).
+    Helpers,
+    /// Fixed linearization points only — §3.1's strawman, kept to
+    /// reproduce Figure 1's failure.
+    FixedLp,
+}
+
+/// How often to validate the (comparatively expensive) abstraction
+/// relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelationCadence {
+    /// After every event — thorough, O(state) per event.
+    EveryEvent,
+    /// After every `Unlock` (when consistency must be re-established,
+    /// §4.4) and at the end. The default.
+    AtUnlock,
+    /// Only when the trace ends.
+    AtEnd,
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerConfig {
+    /// Helper mechanism on/off.
+    pub mode: HelperMode,
+    /// Abstraction-relation cadence.
+    pub relation: RelationCadence,
+    /// Validate Table-1 invariants at every LP.
+    pub invariants: bool,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::AtUnlock,
+            invariants: true,
+        }
+    }
+}
+
+/// Classification of a detected problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// The trace itself is malformed (double lock, mutate without lock,
+    /// lock outside an operation, ...). Indicates an instrumentation or
+    /// concurrency-control bug in the emitter.
+    Protocol,
+    /// A concrete mutation was impossible against the shadow state.
+    ShadowState,
+    /// The guarantee condition was broken: a mutation touched an inode
+    /// not locked by the mutating thread (`Lockedtrans` shape, §8).
+    RelyGuarantee,
+    /// Concrete return value differs from the abstract operation's.
+    ReturnMismatch,
+    /// An operation completed without ever being linearized.
+    NoLinearization,
+    /// The abstraction relation (with roll-back) failed.
+    AbstractionRelation,
+    /// Table 1: a helped operation bypassed one helped before it.
+    HelpedNonBypassable,
+    /// Table 1: an unhelped operation bypassed a helped one.
+    UnhelpedNonBypassable,
+    /// Table 1: the abstract state is not a well-formed tree.
+    GoodAfs,
+    /// Table 1: a pending thread's last-locked inode is not locked by it.
+    LastLockedLockpath,
+    /// Table 1: Helplist and helped-flags disagree.
+    HelplistConsistency,
+    /// Table 1: a helped thread deviated from its `FutLockPath`.
+    FutureLockpath,
+    /// Table 1: the LockPathPrefix relation has a cycle.
+    LockpathWellformed,
+}
+
+/// One detected violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Index of the event being processed when the violation surfaced.
+    pub at: usize,
+    /// Category.
+    pub kind: ViolationKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[event {}] {:?}: {}", self.at, self.kind, self.message)
+    }
+}
+
+/// Counters describing a checked execution.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CheckerStats {
+    /// Operations begun.
+    pub ops_begun: u64,
+    /// Operations completed.
+    pub ops_completed: u64,
+    /// Linearization points processed.
+    pub lps: u64,
+    /// Rename LPs that ran `linothers` (helper mode only).
+    pub rename_lps: u64,
+    /// Total operations linearized by helpers.
+    pub helps: u64,
+    /// Largest single help set.
+    pub max_helpset: usize,
+    /// Abstraction-relation validations performed.
+    pub relation_checks: u64,
+}
+
+/// The result of checking one trace.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Everything found wrong, in trace order.
+    pub violations: Vec<Violation>,
+    /// Execution counters.
+    pub stats: CheckerStats,
+    /// The final abstract state (for cross-validation).
+    pub final_afs: FsState,
+    /// A human-readable linearization narrative: one line per invocation,
+    /// linearization (own LP or helped, with the helper's identity and
+    /// order), and response. Useful for understanding *why* an
+    /// interleaving linearized the way it did.
+    pub narration: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the execution checked clean.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with a readable summary if the execution did not check clean.
+    pub fn assert_ok(&self) {
+        if !self.is_ok() {
+            let mut msg = format!("{} violation(s):\n", self.violations.len());
+            for v in self.violations.iter().take(20) {
+                msg.push_str(&format!("  {v}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+
+    /// Violations of a particular kind.
+    pub fn of_kind(&self, kind: ViolationKind) -> Vec<&Violation> {
+        self.violations.iter().filter(|v| v.kind == kind).collect()
+    }
+}
+
+/// The replaying checker. Feed events with [`LpChecker::feed`] (or install
+/// as an online [`atomfs_trace::TraceSink`] via `crate::online`), then call
+/// [`LpChecker::finish`].
+pub struct LpChecker {
+    cfg: CheckerConfig,
+    shadow: FsState,
+    afs: FsState,
+    pool: ThreadPool,
+    binding: Binding,
+    /// Concrete inode -> holder.
+    locks: HashMap<Inum, Tid>,
+    /// Concrete inodes created by a still-pending (unhelped) operation.
+    private: HashMap<Inum, Tid>,
+    /// Concrete inodes removed inside a critical section whose abstract
+    /// removal happens later, at the owner's LP; unbound there.
+    pending_unbinds: HashMap<Tid, Vec<Inum>>,
+    next_provisional: Inum,
+    violations: Vec<Violation>,
+    stats: CheckerStats,
+    narration: Vec<String>,
+    idx: usize,
+}
+
+impl Default for LpChecker {
+    fn default() -> Self {
+        Self::new(CheckerConfig::default())
+    }
+}
+
+impl LpChecker {
+    /// Create a checker for an initially empty file system.
+    pub fn new(cfg: CheckerConfig) -> Self {
+        LpChecker {
+            cfg,
+            shadow: FsState::new(),
+            afs: FsState::new(),
+            pool: ThreadPool::new(),
+            binding: Binding::new(),
+            locks: HashMap::new(),
+            private: HashMap::new(),
+            pending_unbinds: HashMap::new(),
+            next_provisional: crate::ghost::PROVISIONAL_BASE,
+            violations: Vec::new(),
+            stats: CheckerStats::default(),
+            narration: Vec::new(),
+            idx: 0,
+        }
+    }
+
+    /// The current abstract state (primarily for tests).
+    pub fn afs(&self) -> &FsState {
+        &self.afs
+    }
+
+    /// The current shadow concrete state (primarily for tests).
+    pub fn shadow(&self) -> &FsState {
+        &self.shadow
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    fn flag(&mut self, kind: ViolationKind, message: String) {
+        self.violations.push(Violation {
+            at: self.idx,
+            kind,
+            message,
+        });
+    }
+
+    /// Process one event.
+    pub fn feed(&mut self, ev: &Event) {
+        match ev {
+            Event::OpBegin { tid, op } => self.on_begin(*tid, op),
+            Event::Lock { tid, ino, tag } => self.on_lock(*tid, *ino, *tag),
+            Event::Unlock { tid, ino } => self.on_unlock(*tid, *ino),
+            Event::Mutate { tid, mop } => self.on_mutate(*tid, mop),
+            Event::Lp { tid } => self.on_lp(*tid),
+            Event::OpEnd { tid, ret } => self.on_end(*tid, ret),
+        }
+        if self.cfg.relation == RelationCadence::EveryEvent {
+            self.check_relation();
+        }
+        self.idx += 1;
+    }
+
+    /// Process a whole trace.
+    pub fn feed_all(&mut self, events: &[Event]) {
+        for e in events {
+            self.feed(e);
+        }
+    }
+
+    /// Run the end-of-trace checks and produce the report.
+    pub fn finish(mut self) -> CheckReport {
+        for (tid, _) in self.pool.iter() {
+            self.violations.push(Violation {
+                at: self.idx,
+                kind: ViolationKind::Protocol,
+                message: format!("trace ended with active operation on {tid}"),
+            });
+        }
+        if !self.locks.is_empty() {
+            let held: Vec<_> = self.locks.keys().collect();
+            self.flag(
+                ViolationKind::Protocol,
+                format!("trace ended with locks held: {held:?}"),
+            );
+        }
+        self.check_relation();
+        self.check_invariants();
+        CheckReport {
+            violations: self.violations,
+            stats: self.stats,
+            final_afs: self.afs,
+            narration: self.narration,
+        }
+    }
+
+    /// Convenience: check a complete trace in one call.
+    pub fn check(cfg: CheckerConfig, events: &[Event]) -> CheckReport {
+        let mut c = LpChecker::new(cfg);
+        c.feed_all(events);
+        c.finish()
+    }
+
+    fn on_begin(&mut self, tid: Tid, op: &OpDesc) {
+        self.stats.ops_begun += 1;
+        self.narration.push(format!("{tid} invokes {op}"));
+        if !self.pool.begin(tid, op.clone()) {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} began {op} with an operation already active"),
+            );
+        }
+    }
+
+    fn on_lock(&mut self, tid: Tid, ino: Inum, tag: PathTag) {
+        if let Some(holder) = self.locks.insert(ino, tid) {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} locked {ino} already held by {holder}"),
+            );
+        }
+        let Some(entry) = self.pool.get_mut(tid) else {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} locked {ino} outside any operation"),
+            );
+            return;
+        };
+        entry.desc.push_lock(ino, tag);
+        let abs = self.binding.abs(ino);
+        // Future-lockpath-validness for the locking thread itself.
+        let own_helped = entry.desc.helped && entry.desc.fut_lock_path.front().is_some();
+        if own_helped {
+            let expected = *entry.desc.fut_lock_path.front().expect("nonempty");
+            match abs {
+                Some(a) if a == expected => {
+                    entry.desc.fut_lock_path.pop_front();
+                }
+                other => {
+                    let msg = format!(
+                        "{tid} locked {ino} (abs {other:?}) but its FutLockPath expected {expected}"
+                    );
+                    entry.desc.fut_lock_path.pop_front();
+                    self.flag(ViolationKind::FutureLockpath, msg);
+                }
+            }
+        }
+        // Non-bypassable invariants against every other helped thread.
+        if let Some(a) = abs {
+            let locker_helped = self.pool.get(tid).map(|e| e.desc.helped).unwrap_or(false);
+            let locker_pos = self.pool.helplist.iter().position(|t| *t == tid);
+            let mut flags = Vec::new();
+            for (other, entry) in self.pool.iter() {
+                if other == tid || !entry.desc.helped {
+                    continue;
+                }
+                if !entry.desc.fut_lock_path.contains(&a) {
+                    continue;
+                }
+                if !locker_helped {
+                    flags.push((
+                        ViolationKind::UnhelpedNonBypassable,
+                        format!(
+                            "unhelped {tid} locked {ino}, still in FutLockPath of helped {other}"
+                        ),
+                    ));
+                } else {
+                    let other_pos = self.pool.helplist.iter().position(|t| *t == other);
+                    if let (Some(op_), Some(lp)) = (other_pos, locker_pos) {
+                        if op_ < lp {
+                            flags.push((
+                                ViolationKind::HelpedNonBypassable,
+                                format!(
+                                    "helped {tid} locked {ino}, still in FutLockPath of \
+                                     earlier-helped {other}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            for (k, m) in flags {
+                self.flag(k, m);
+            }
+        }
+    }
+
+    fn on_unlock(&mut self, tid: Tid, ino: Inum) {
+        match self.locks.remove(&ino) {
+            Some(holder) if holder == tid => {}
+            Some(holder) => {
+                self.flag(
+                    ViolationKind::Protocol,
+                    format!("{tid} unlocked {ino} held by {holder}"),
+                );
+            }
+            None => {
+                self.flag(
+                    ViolationKind::Protocol,
+                    format!("{tid} unlocked {ino} which was not locked"),
+                );
+            }
+        }
+        if self.cfg.relation == RelationCadence::AtUnlock {
+            self.check_relation();
+        }
+    }
+
+    fn on_mutate(&mut self, tid: Tid, mop: &MicroOp) {
+        // Guarantee condition: Lockedtrans only touches inodes locked by
+        // the mutating thread; Create introduces thread-private memory.
+        match mop {
+            MicroOp::Create { ino, ftype } => {
+                let entry = self.pool.get_mut(tid);
+                match entry {
+                    Some(e) => {
+                        if let Some((abs, aft)) = e.desc.pending_provisionals.pop_front() {
+                            // A helped creation caught up: bind it. The
+                            // inode stays thread-private until the helped
+                            // operation discharges at its LP — its effects
+                            // are still rolled back until then.
+                            if aft != *ftype {
+                                self.flag(
+                                    ViolationKind::ReturnMismatch,
+                                    format!(
+                                        "{tid} created {ino} as {ftype:?} but was helped \
+                                         creating a {aft:?}"
+                                    ),
+                                );
+                            }
+                            self.binding.bind(*ino, abs);
+                            self.private.insert(*ino, tid);
+                        } else if e.aop.is_pending() {
+                            e.desc.created.push_back((*ino, *ftype));
+                            self.private.insert(*ino, tid);
+                        } else {
+                            self.flag(
+                                ViolationKind::Protocol,
+                                format!("{tid} created inode {ino} after its LP"),
+                            );
+                        }
+                    }
+                    None => self.flag(
+                        ViolationKind::Protocol,
+                        format!("{tid} mutated outside any operation"),
+                    ),
+                }
+            }
+            MicroOp::Remove { ino, .. } => {
+                self.require_locked(tid, *ino, "remove");
+            }
+            MicroOp::Ins { parent, .. } | MicroOp::Del { parent, .. } => {
+                self.require_locked(tid, *parent, "link change in");
+            }
+            MicroOp::SetData { ino, .. } => {
+                self.require_locked(tid, *ino, "data write to");
+            }
+        }
+        if let Err(e) = self.shadow.apply_micro(mop) {
+            self.flag(ViolationKind::ShadowState, format!("{tid}: {e}"));
+        }
+        if let MicroOp::Remove { ino, .. } = mop {
+            // If the abstract level still holds the counterpart (the
+            // remover has not passed its LP yet — e.g. a rename victim is
+            // freed before the rename's LP), the pair stays bound so the
+            // relation can keep relating them; unbinding happens when the
+            // abstract side catches up at the owner's LP.
+            let abstract_still_has = self
+                .binding
+                .abs(*ino)
+                .is_some_and(|a| self.afs.map.contains_key(&a));
+            if abstract_still_has {
+                self.pending_unbinds.entry(tid).or_default().push(*ino);
+            } else {
+                self.binding.unbind_concrete(*ino);
+            }
+            self.private.remove(ino);
+        }
+    }
+
+    fn require_locked(&mut self, tid: Tid, ino: Inum, what: &str) {
+        let held = self.locks.get(&ino) == Some(&tid);
+        let private = self.private.get(&ino) == Some(&tid);
+        if !held && !private {
+            self.flag(
+                ViolationKind::RelyGuarantee,
+                format!("{tid} performed {what} inode {ino} without holding its lock"),
+            );
+        }
+    }
+
+    fn on_lp(&mut self, tid: Tid) {
+        self.stats.lps += 1;
+        let Some(entry) = self.pool.get_mut(tid) else {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} hit an LP outside any operation"),
+            );
+            return;
+        };
+        match entry.aop.clone() {
+            AopState::Done(_) => {
+                // Helped earlier; the concrete execution has now caught up.
+                let mut deferred: Vec<(ViolationKind, String)> = Vec::new();
+                if !entry.desc.fut_lock_path.is_empty() {
+                    let left: Vec<_> = entry.desc.fut_lock_path.iter().copied().collect();
+                    entry.desc.fut_lock_path.clear();
+                    deferred.push((
+                        ViolationKind::FutureLockpath,
+                        format!("{tid} reached its LP with FutLockPath not consumed: {left:?}"),
+                    ));
+                }
+                if !entry.desc.pending_provisionals.is_empty() {
+                    deferred.push((
+                        ViolationKind::FutureLockpath,
+                        format!("{tid} reached its LP with helped creations never performed"),
+                    ));
+                }
+                entry.desc.effect.clear();
+                // Inodes created on behalf of this helped op are published
+                // now: the abstract and concrete levels agree from here on.
+                self.private.retain(|_, t| *t != tid);
+                if !self.pool.discharge(tid) {
+                    deferred.push((
+                        ViolationKind::HelplistConsistency,
+                        format!("helped {tid} was not on the Helplist at discharge"),
+                    ));
+                }
+                for (k, m) in deferred {
+                    self.flag(k, m);
+                }
+            }
+            AopState::Pending(op) => {
+                if self.cfg.mode == HelperMode::Helpers && op.is_rename() {
+                    self.stats.rename_lps += 1;
+                    self.run_linothers(tid);
+                }
+                self.lin(tid, false);
+            }
+        }
+        if let Some(pending) = self.pending_unbinds.remove(&tid) {
+            for ino in pending {
+                self.binding.unbind_concrete(ino);
+            }
+        }
+        if self.cfg.invariants {
+            self.check_invariants();
+        }
+    }
+
+    /// The `linothers` primitive (Figure 5): find every thread that must
+    /// linearize before this rename, order them, and linearize each.
+    fn run_linothers(&mut self, rename_tid: Tid) {
+        let src_path = self
+            .pool
+            .get(rename_tid)
+            .expect("caller checked")
+            .desc
+            .src_path();
+        let helpset = help_set(rename_tid, &src_path, &self.pool);
+        if helpset.is_empty() {
+            return;
+        }
+        let lbset = linearize_before_set(&self.pool);
+        let order = match total_order(&helpset, &lbset) {
+            Ok(o) => o,
+            Err(cyclic) => {
+                self.flag(
+                    ViolationKind::LockpathWellformed,
+                    format!("no helping order exists; cyclic threads: {cyclic:?}"),
+                );
+                return;
+            }
+        };
+        self.stats.helps += order.len() as u64;
+        self.stats.max_helpset = self.stats.max_helpset.max(order.len());
+        let order_str = order
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" then ");
+        self.narration.push(format!(
+            "{rename_tid} reaches its LP and runs linothers: helping {order_str}"
+        ));
+        for h in order {
+            self.lin(h, true);
+        }
+    }
+
+    /// Linearize thread `tid`'s abstract operation against the current
+    /// abstract state (the paper's `lin(t)`).
+    fn lin(&mut self, tid: Tid, helped: bool) {
+        let (op, mut created) = {
+            let entry = self.pool.get_mut(tid).expect("linearized thread exists");
+            let op = match &entry.aop {
+                AopState::Pending(op) => op.clone(),
+                AopState::Done(_) => unreachable!("lin of an already-linearized op"),
+            };
+            (op, std::mem::take(&mut entry.desc.created))
+        };
+        // Compute the future lock path on the pre-state: the locks the
+        // operation will acquire given what it has locked so far.
+        let fut = if helped {
+            Some(compute_fut(
+                &op,
+                self.pool.get(tid).expect("exists").desc.locks_taken(),
+                &self.afs,
+            ))
+        } else {
+            None
+        };
+        let mut next_prov = self.next_provisional;
+        let mut minted: Vec<(Inum, FileType)> = Vec::new();
+        let mut identity: Vec<Inum> = Vec::new();
+        let mut type_mismatch = false;
+        let (effects, ret, apply_err) = {
+            let mut alloc = |ft: FileType| -> Inum {
+                if let Some((ino, cft)) = created.pop_front() {
+                    if cft != ft {
+                        type_mismatch = true;
+                    }
+                    identity.push(ino);
+                    ino
+                } else {
+                    let id = next_prov;
+                    next_prov += 1;
+                    minted.push((id, ft));
+                    id
+                }
+            };
+            apply_aop(&mut self.afs, &op, &mut alloc)
+        };
+        self.next_provisional = next_prov;
+        if let Some(err) = apply_err {
+            self.flag(
+                ViolationKind::AbstractionRelation,
+                format!("{tid}: abstract effects inapplicable, levels diverged: {err}"),
+            );
+        }
+        if type_mismatch {
+            self.flag(
+                ViolationKind::ReturnMismatch,
+                format!("{tid}: created inode type differs between levels"),
+            );
+        }
+        for ino in identity {
+            self.binding.bind(ino, ino);
+            // For a *helped* operation the recorded effects are rolled
+            // back until its own LP discharges them, so inodes it already
+            // created concretely must stay thread-private until then.
+            if !helped {
+                self.private.remove(&ino);
+            }
+        }
+        self.narration.push(if helped {
+            format!("  -> {tid} linearized by helper => {ret}")
+        } else {
+            format!("{tid} linearized at its own LP => {ret}")
+        });
+        let entry = self.pool.get_mut(tid).expect("exists");
+        entry.aop = AopState::Done(ret);
+        entry.desc.created = created;
+        if helped {
+            entry.desc.helped = true;
+            entry.desc.effect = effects;
+            entry
+                .desc
+                .pending_provisionals
+                .extend(minted.iter().copied());
+            entry.desc.fut_lock_path = fut.expect("computed above");
+            self.pool.push_helped(tid);
+        }
+    }
+
+    fn on_end(&mut self, tid: Tid, ret: &OpRet) {
+        self.stats.ops_completed += 1;
+        self.narration.push(format!("{tid} returns {ret}"));
+        let Some(entry) = self.pool.end(tid) else {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} ended an operation that never began"),
+            );
+            return;
+        };
+        match &entry.aop {
+            AopState::Done(abs_ret) => {
+                if abs_ret != ret {
+                    self.flag(
+                        ViolationKind::ReturnMismatch,
+                        format!(
+                            "{tid}: concrete returned {ret} but abstract operation \
+                             returned {abs_ret}"
+                        ),
+                    );
+                }
+            }
+            AopState::Pending(op) => {
+                self.flag(
+                    ViolationKind::NoLinearization,
+                    format!("{tid} completed {op} without being linearized"),
+                );
+            }
+        }
+        if self.pool.helplist.contains(&tid) {
+            self.pool.discharge(tid);
+            self.flag(
+                ViolationKind::HelplistConsistency,
+                format!("{tid} finished while still on the Helplist"),
+            );
+        }
+        if let Some(pending) = self.pending_unbinds.remove(&tid) {
+            for ino in pending {
+                self.binding.unbind_concrete(ino);
+            }
+        }
+    }
+
+    fn check_relation(&mut self) {
+        self.stats.relation_checks += 1;
+        match rolled_back(&self.afs, &self.pool) {
+            Ok(rolled) => {
+                for msg in relation_violations(
+                    &self.shadow,
+                    &rolled,
+                    &self.binding,
+                    &self.locks,
+                    &self.private,
+                ) {
+                    self.flag(ViolationKind::AbstractionRelation, msg);
+                }
+            }
+            Err(e) => {
+                self.flag(
+                    ViolationKind::AbstractionRelation,
+                    format!("roll-back failed: {e}"),
+                );
+            }
+        }
+    }
+
+    fn check_invariants(&mut self) {
+        for v in invariants::check_all(&self.afs, &self.pool, &self.locks) {
+            self.flag(v.0, v.1);
+        }
+    }
+}
+
+/// Predict the sequence of inode locks an operation will acquire,
+/// resolved against the abstract state it is being linearized in, and
+/// return the suffix it has not taken yet (the paper's `FutLockPath`).
+///
+/// The prediction mirrors the concrete traversal exactly: the common walk,
+/// then — for renames — the source branch, destination branch, victim,
+/// and source node, stopping where resolution (and hence the concrete
+/// walk) will stop.
+fn compute_fut(op: &OpDesc, locks_taken: usize, afs: &FsState) -> VecDeque<Inum> {
+    let seq = predict_lock_sequence(op, afs);
+    seq.into_iter().skip(locks_taken).collect()
+}
+
+fn predict_lock_sequence(op: &OpDesc, afs: &FsState) -> Vec<Inum> {
+    fn walk(afs: &FsState, start: Inum, comps: &[String], out: &mut Vec<Inum>) -> Option<Inum> {
+        let mut cur = start;
+        for name in comps {
+            let child = afs
+                .node(cur)
+                .and_then(crate::state::Node::as_dir)
+                .and_then(|d| d.get(name).copied());
+            match child {
+                Some(c) => {
+                    out.push(c);
+                    cur = c;
+                }
+                None => return None,
+            }
+        }
+        Some(cur)
+    }
+    let root = afs.root;
+    let mut seq = vec![root];
+    match op {
+        OpDesc::Mknod { path } | OpDesc::Mkdir { path } => {
+            if let Some((_, parent)) = path.split_last() {
+                walk(afs, root, parent, &mut seq);
+            }
+        }
+        OpDesc::Unlink { path } | OpDesc::Rmdir { path } => {
+            // Locks the parent chain and then the victim itself.
+            walk(afs, root, path, &mut seq);
+        }
+        OpDesc::Stat { path }
+        | OpDesc::Readdir { path }
+        | OpDesc::Read { path, .. }
+        | OpDesc::Write { path, .. }
+        | OpDesc::Truncate { path, .. } => {
+            walk(afs, root, path, &mut seq);
+        }
+        OpDesc::Rename { src, dst } => {
+            if src.is_empty() || dst.is_empty() || src == dst {
+                // Self-rename walks only the parent chain.
+                if src == dst && !src.is_empty() {
+                    let (_, sp) = src.split_last().expect("nonempty");
+                    walk(afs, root, sp, &mut seq);
+                }
+                return seq;
+            }
+            if src.len() < dst.len() && dst[..src.len()] == src[..] {
+                return seq; // EINVAL before any lock... except OpBegin? No locks.
+            }
+            let dst_is_ancestor = dst.len() < src.len() && src[..dst.len()] == dst[..];
+            let (sn, sp) = src.split_last().expect("nonempty");
+            let (dn, dp) = dst.split_last().expect("nonempty");
+            let clen = sp.iter().zip(dp.iter()).take_while(|(a, b)| a == b).count();
+            let Some(common) = walk(afs, root, &sp[..clen], &mut seq) else {
+                return seq;
+            };
+            let Some(sdir) = walk(afs, common, &sp[clen..], &mut seq) else {
+                return seq;
+            };
+            let Some(ddir) = walk(afs, common, &dp[clen..], &mut seq) else {
+                return seq;
+            };
+            let dir_of = |id: Inum| afs.node(id).and_then(crate::state::Node::as_dir);
+            let (Some(sd), Some(dd)) = (dir_of(sdir), dir_of(ddir)) else {
+                return seq;
+            };
+            let Some(snode) = sd.get(sn).copied() else {
+                return seq;
+            };
+            if dst_is_ancestor {
+                return seq;
+            }
+            let dnode = dd.get(dn).copied();
+            if dnode == Some(snode) {
+                return seq;
+            }
+            if let Some(d) = dnode {
+                seq.push(d);
+            }
+            seq.push(snode);
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comps(s: &[&str]) -> Vec<String> {
+        s.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn predict_sequence_for_stat() {
+        let mut afs = FsState::new();
+        let mut alloc = {
+            let mut n = 10;
+            move |_| {
+                n += 1;
+                n
+            }
+        };
+        apply_aop(
+            &mut afs,
+            &OpDesc::Mkdir {
+                path: comps(&["a"]),
+            },
+            &mut alloc,
+        );
+        apply_aop(
+            &mut afs,
+            &OpDesc::Mknod {
+                path: comps(&["a", "f"]),
+            },
+            &mut alloc,
+        );
+        let seq = predict_lock_sequence(
+            &OpDesc::Stat {
+                path: comps(&["a", "f"]),
+            },
+            &afs,
+        );
+        assert_eq!(seq.len(), 3); // root, a, f
+                                  // A stat that will fail midway predicts locks up to the failure.
+        let seq = predict_lock_sequence(
+            &OpDesc::Stat {
+                path: comps(&["a", "missing", "x"]),
+            },
+            &afs,
+        );
+        assert_eq!(seq.len(), 2); // root, a
+    }
+
+    #[test]
+    fn predict_sequence_for_rename() {
+        let mut afs = FsState::new();
+        let mut alloc = {
+            let mut n = 10;
+            move |_| {
+                n += 1;
+                n
+            }
+        };
+        for p in [vec!["a"], vec!["b"]] {
+            apply_aop(&mut afs, &OpDesc::Mkdir { path: comps(&p) }, &mut alloc);
+        }
+        apply_aop(
+            &mut afs,
+            &OpDesc::Mknod {
+                path: comps(&["a", "f"]),
+            },
+            &mut alloc,
+        );
+        let seq = predict_lock_sequence(
+            &OpDesc::Rename {
+                src: comps(&["a", "f"]),
+                dst: comps(&["b", "g"]),
+            },
+            &afs,
+        );
+        // root, a (src branch), b (dst branch), snode f — no victim.
+        assert_eq!(seq.len(), 4);
+        let fut = compute_fut(
+            &OpDesc::Rename {
+                src: comps(&["a", "f"]),
+                dst: comps(&["b", "g"]),
+            },
+            1, // already locked root
+            &afs,
+        );
+        assert_eq!(fut.len(), 3);
+    }
+
+    #[test]
+    fn empty_trace_checks_clean() {
+        let report = LpChecker::check(CheckerConfig::default(), &[]);
+        report.assert_ok();
+        assert_eq!(report.stats.ops_begun, 0);
+    }
+}

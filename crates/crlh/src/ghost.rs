@@ -1,0 +1,339 @@
+//! Ghost state: the helper metadata of §4.3.
+//!
+//! CRL-H instantiates the helper mechanism's ghost state as a *thread
+//! pool* mapping thread IDs to an [`AopState`] plus a [`Descriptor`], and
+//! a *Helplist* recording the abstract-level execution order of helped
+//! operations. The descriptor holds the fields the paper adds for AtomFS
+//! (§5.2–§5.3):
+//!
+//! * `LockPath` — the inodes the operation has locked through from the
+//!   root, *including released ones*; renames keep a pair of paths
+//!   (`SrcPath`, `DestPath`) built from the common prefix plus each
+//!   branch;
+//! * `Effect` — the micro-operations a helped Aop applied to the abstract
+//!   state, consumed by the roll-back mechanism;
+//! * `FutLockPath` — the locks a helped operation will still acquire,
+//!   consumed by the non-bypassable invariants.
+//!
+//! The checker additionally maintains the concrete↔abstract inode-id
+//! binding here: a helped operation's created inodes get *provisional*
+//! abstract ids which are bound to real inode numbers when the concrete
+//! `Create` mutation arrives.
+
+use std::collections::{HashMap, VecDeque};
+
+use atomfs_trace::{Inum, MicroOp, OpDesc, OpRet, PathTag, Tid};
+
+/// First provisional abstract id; real inode numbers stay far below this.
+pub const PROVISIONAL_BASE: Inum = 1 << 60;
+
+/// Whether an abstract id is provisional (minted for a helped creation
+/// whose concrete inode does not exist yet).
+pub fn is_provisional(id: Inum) -> bool {
+    id >= PROVISIONAL_BASE
+}
+
+/// The paper's `AopState`: a pending abstract operation or its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AopState {
+    /// `(aop, args)` — the operation still needs to be linearized.
+    Pending(OpDesc),
+    /// `(end, ret)` — the operation has passed its (possibly external) LP.
+    Done(OpRet),
+}
+
+impl AopState {
+    /// Whether the operation is still pending linearization.
+    pub fn is_pending(&self) -> bool {
+        matches!(self, AopState::Pending(_))
+    }
+}
+
+/// Per-thread auxiliary information (the paper's `Descriptor`).
+#[derive(Debug, Clone, Default)]
+pub struct Descriptor {
+    /// Locks acquired on the shared prefix (all locks for non-renames).
+    pub common: Vec<Inum>,
+    /// Locks acquired on a rename's source branch (incl. the source node).
+    pub src_branch: Vec<Inum>,
+    /// Locks acquired on a rename's destination branch (incl. the victim).
+    pub dst_branch: Vec<Inum>,
+    /// Effects applied at the abstract level when this thread was helped.
+    pub effect: Vec<MicroOp>,
+    /// Remaining abstract ids this helped thread will lock, in order.
+    pub fut_lock_path: VecDeque<Inum>,
+    /// Whether the operation was linearized by a helper (vs its own LP).
+    pub helped: bool,
+    /// Concrete inode numbers this thread has created (from `Create`
+    /// mutations), queued for the abstract allocator at its own LP.
+    pub created: VecDeque<(Inum, atomfs_vfs::FileType)>,
+    /// Provisional abstract ids minted when this thread was helped,
+    /// awaiting binding to the concrete inodes its `Create` mutations
+    /// will introduce.
+    pub pending_provisionals: VecDeque<(Inum, atomfs_vfs::FileType)>,
+}
+
+impl Descriptor {
+    /// Record a lock acquisition under the given path tag.
+    pub fn push_lock(&mut self, ino: Inum, tag: PathTag) {
+        match tag {
+            PathTag::Common => self.common.push(ino),
+            PathTag::Src => self.src_branch.push(ino),
+            PathTag::Dst => self.dst_branch.push(ino),
+        }
+    }
+
+    /// The source lock path: common prefix plus source branch.
+    /// For non-renames this is simply the lock path.
+    pub fn src_path(&self) -> Vec<Inum> {
+        let mut p = self.common.clone();
+        p.extend(&self.src_branch);
+        p
+    }
+
+    /// The destination lock path of a rename: common prefix plus
+    /// destination branch. `None` when no destination lock exists yet.
+    pub fn dst_path(&self) -> Option<Vec<Inum>> {
+        if self.dst_branch.is_empty() {
+            None
+        } else {
+            let mut p = self.common.clone();
+            p.extend(&self.dst_branch);
+            Some(p)
+        }
+    }
+
+    /// All lock paths of this thread (one, or two for an active rename).
+    pub fn lock_paths(&self) -> Vec<Vec<Inum>> {
+        let mut v = vec![self.src_path()];
+        if let Some(d) = self.dst_path() {
+            v.push(d);
+        }
+        v
+    }
+
+    /// Total number of lock acquisitions so far.
+    pub fn locks_taken(&self) -> usize {
+        self.common.len() + self.src_branch.len() + self.dst_branch.len()
+    }
+}
+
+/// One thread-pool entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The operation's linearization status.
+    pub aop: AopState,
+    /// Auxiliary per-thread state.
+    pub desc: Descriptor,
+}
+
+impl Entry {
+    /// Fresh entry for an operation that just began.
+    pub fn new(op: OpDesc) -> Self {
+        Entry {
+            aop: AopState::Pending(op),
+            desc: Descriptor::default(),
+        }
+    }
+}
+
+/// The thread pool plus Helplist.
+#[derive(Debug, Default)]
+pub struct ThreadPool {
+    entries: HashMap<Tid, Entry>,
+    /// Abstract execution order of helped threads not yet discharged.
+    pub helplist: Vec<Tid>,
+}
+
+impl ThreadPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a beginning operation. Returns `false` if the thread
+    /// already has an active entry (a protocol violation).
+    pub fn begin(&mut self, tid: Tid, op: OpDesc) -> bool {
+        self.entries.insert(tid, Entry::new(op)).is_none()
+    }
+
+    /// Remove a finished operation's entry.
+    pub fn end(&mut self, tid: Tid) -> Option<Entry> {
+        self.entries.remove(&tid)
+    }
+
+    /// Access an entry.
+    pub fn get(&self, tid: Tid) -> Option<&Entry> {
+        self.entries.get(&tid)
+    }
+
+    /// Mutable access to an entry.
+    pub fn get_mut(&mut self, tid: Tid) -> Option<&mut Entry> {
+        self.entries.get_mut(&tid)
+    }
+
+    /// Iterate over all active entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, &Entry)> {
+        self.entries.iter().map(|(t, e)| (*t, e))
+    }
+
+    /// Threads whose operations are still pending linearization.
+    pub fn pending(&self) -> Vec<Tid> {
+        let mut v: Vec<Tid> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.aop.is_pending())
+            .map(|(t, _)| *t)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Append a newly helped thread to the Helplist.
+    pub fn push_helped(&mut self, tid: Tid) {
+        self.helplist.push(tid);
+    }
+
+    /// Discharge a helped thread from the Helplist (its concrete
+    /// mutations have caught up with the abstract state).
+    pub fn discharge(&mut self, tid: Tid) -> bool {
+        match self.helplist.iter().position(|t| *t == tid) {
+            Some(i) => {
+                self.helplist.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The concrete↔abstract inode-id bijection.
+#[derive(Debug, Default)]
+pub struct Binding {
+    to_abs: HashMap<Inum, Inum>,
+    to_conc: HashMap<Inum, Inum>,
+}
+
+impl Binding {
+    /// A fresh binding relating the shared root id to itself.
+    pub fn new() -> Self {
+        let mut b = Binding::default();
+        b.bind(atomfs_trace::ROOT_INUM, atomfs_trace::ROOT_INUM);
+        b
+    }
+
+    /// Relate concrete `c` to abstract `a`. Panics on rebinding either
+    /// side — the checker unbinds on removal first.
+    pub fn bind(&mut self, c: Inum, a: Inum) {
+        let prev_a = self.to_abs.insert(c, a);
+        let prev_c = self.to_conc.insert(a, c);
+        assert!(
+            prev_a.is_none() && prev_c.is_none(),
+            "rebinding {c}<->{a} (was {prev_a:?}/{prev_c:?})"
+        );
+    }
+
+    /// Forget the pair containing concrete id `c`.
+    pub fn unbind_concrete(&mut self, c: Inum) {
+        if let Some(a) = self.to_abs.remove(&c) {
+            self.to_conc.remove(&a);
+        }
+    }
+
+    /// Abstract id for a concrete inode.
+    pub fn abs(&self, c: Inum) -> Option<Inum> {
+        self.to_abs.get(&c).copied()
+    }
+
+    /// Concrete inode for an abstract id.
+    pub fn conc(&self, a: Inum) -> Option<Inum> {
+        self.to_conc.get(&a).copied()
+    }
+
+    /// Number of bound pairs.
+    pub fn len(&self) -> usize {
+        self.to_abs.len()
+    }
+
+    /// Whether no pairs are bound.
+    pub fn is_empty(&self) -> bool {
+        self.to_abs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> OpDesc {
+        OpDesc::Stat { path: vec![] }
+    }
+
+    #[test]
+    fn pool_lifecycle() {
+        let mut pool = ThreadPool::new();
+        assert!(pool.begin(Tid(1), op()));
+        assert!(!pool.begin(Tid(1), op()), "double begin rejected");
+        assert!(pool.get(Tid(1)).unwrap().aop.is_pending());
+        assert_eq!(pool.pending(), vec![Tid(1)]);
+        let e = pool.end(Tid(1)).unwrap();
+        assert!(e.aop.is_pending());
+        assert!(pool.end(Tid(1)).is_none());
+    }
+
+    #[test]
+    fn descriptor_paths() {
+        let mut d = Descriptor::default();
+        d.push_lock(1, PathTag::Common);
+        d.push_lock(2, PathTag::Common);
+        d.push_lock(3, PathTag::Src);
+        d.push_lock(4, PathTag::Dst);
+        d.push_lock(5, PathTag::Dst);
+        assert_eq!(d.src_path(), vec![1, 2, 3]);
+        assert_eq!(d.dst_path(), Some(vec![1, 2, 4, 5]));
+        assert_eq!(d.lock_paths().len(), 2);
+        assert_eq!(d.locks_taken(), 5);
+    }
+
+    #[test]
+    fn non_rename_has_single_path() {
+        let mut d = Descriptor::default();
+        d.push_lock(1, PathTag::Common);
+        assert_eq!(d.dst_path(), None);
+        assert_eq!(d.lock_paths(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn helplist_discharge() {
+        let mut pool = ThreadPool::new();
+        pool.begin(Tid(1), op());
+        pool.begin(Tid(2), op());
+        pool.push_helped(Tid(1));
+        pool.push_helped(Tid(2));
+        assert_eq!(pool.helplist, vec![Tid(1), Tid(2)]);
+        assert!(pool.discharge(Tid(1)));
+        assert!(!pool.discharge(Tid(1)));
+        assert_eq!(pool.helplist, vec![Tid(2)]);
+    }
+
+    #[test]
+    fn binding_roundtrip() {
+        let mut b = Binding::new();
+        b.bind(5, PROVISIONAL_BASE + 1);
+        assert_eq!(b.abs(5), Some(PROVISIONAL_BASE + 1));
+        assert_eq!(b.conc(PROVISIONAL_BASE + 1), Some(5));
+        b.unbind_concrete(5);
+        assert_eq!(b.abs(5), None);
+        // Root is always bound.
+        assert_eq!(
+            b.abs(atomfs_trace::ROOT_INUM),
+            Some(atomfs_trace::ROOT_INUM)
+        );
+    }
+
+    #[test]
+    fn provisional_range() {
+        assert!(is_provisional(PROVISIONAL_BASE));
+        assert!(!is_provisional(12345));
+    }
+}

@@ -1,0 +1,264 @@
+//! The helper mechanism: linearize-before relation, help set, and helping
+//! order (§3.4, §5.2, Figure 5).
+//!
+//! When a `rename` reaches its linearization point it may have broken the
+//! path integrity of in-flight operations (*path inter-dependency*, §3.2).
+//! Those operations' LPs become *external*: the rename must logically
+//! execute their abstract operations before its own. This module computes
+//! *who* to help and *in which order*:
+//!
+//! * **SrcPrefix** — the initial help set: every pending thread one of
+//!   whose lock paths extends the rename's `SrcPath` has traversed through
+//!   the inode being moved and must be linearized first.
+//! * **LockPathPrefix** — the recursive rule and the ordering constraint:
+//!   if thread *y*'s lock path is a proper prefix of thread *z*'s, then
+//!   *z* sits deeper on the same path and must linearize before *y*
+//!   (Figure 4(c)'s recursive path inter-dependency: a helped rename can
+//!   itself break further threads' paths).
+//!
+//! As the paper notes (§5.2), these relations are deliberately *stricter*
+//! than the ideal linearize-before relation — they may order commutative
+//! operations — which is sound as long as a total helping order exists;
+//! lock coupling plus the rename locking discipline guarantee the relation
+//! is acyclic (the `Lockpath-wellformed` invariant).
+
+use std::collections::{BTreeSet, HashMap};
+
+use atomfs_trace::{Inum, Tid};
+use atomfs_vfs::path::is_prefix;
+
+use crate::ghost::ThreadPool;
+
+/// `p` is a proper (strictly shorter) prefix of `q`.
+pub fn is_proper_prefix(p: &[Inum], q: &[Inum]) -> bool {
+    p.len() < q.len() && is_prefix(p, q)
+}
+
+/// A linearize-before constraint: `.0` must linearize before `.1`.
+pub type LbPair = (Tid, Tid);
+
+/// Compute all linearize-before pairs among pending threads
+/// (Figure 5's `linearizeBeforeSet`).
+///
+/// `(a, b)` is in the set when some lock path of `b` is a proper prefix of
+/// some lock path of `a` — `a` is deeper on the same path, so `a`
+/// linearizes before `b`.
+pub fn linearize_before_set(pool: &ThreadPool) -> Vec<LbPair> {
+    let pending = pool.pending();
+    let paths: HashMap<Tid, Vec<Vec<Inum>>> = pending
+        .iter()
+        .map(|t| (*t, pool.get(*t).expect("pending").desc.lock_paths()))
+        .collect();
+    let mut set = Vec::new();
+    for &a in &pending {
+        for &b in &pending {
+            if a == b {
+                continue;
+            }
+            let deeper = paths[&a]
+                .iter()
+                .any(|pa| paths[&b].iter().any(|pb| is_proper_prefix(pb, pa)));
+            if deeper {
+                set.push((a, b));
+            }
+        }
+    }
+    set
+}
+
+/// Compute the set of threads a rename must help (Figure 5's `helpSet`).
+///
+/// Step 1 (init): pending threads with the SrcPrefix relation on the
+/// rename — a lock path extending `src_path`. Step 2 (recursive search):
+/// close under the linearize-before relation, pulling in threads that must
+/// be ordered before an already-selected thread.
+pub fn help_set(rename_tid: Tid, src_path: &[Inum], pool: &ThreadPool) -> BTreeSet<Tid> {
+    let pending = pool.pending();
+    let mut set: BTreeSet<Tid> = pending
+        .iter()
+        .copied()
+        .filter(|&t| t != rename_tid)
+        .filter(|&t| {
+            pool.get(t)
+                .expect("pending")
+                .desc
+                .lock_paths()
+                .iter()
+                .any(|lp| is_proper_prefix(src_path, lp))
+        })
+        .collect();
+    // Recursive search: anything that must linearize before a member joins.
+    let lbset = linearize_before_set(pool);
+    loop {
+        let mut added = false;
+        for &(before, after) in &lbset {
+            if set.contains(&after) && before != rename_tid && set.insert(before) {
+                added = true;
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    set
+}
+
+/// Order the help set so every linearize-before constraint is satisfied
+/// (Figure 5's `totalOrder`): deeper threads first, ties broken by thread
+/// id for determinism.
+///
+/// Returns `Err` with the offending threads if the constraints are cyclic,
+/// which would mean the `Lockpath-wellformed` invariant is broken.
+pub fn total_order(helpset: &BTreeSet<Tid>, lbset: &[LbPair]) -> Result<Vec<Tid>, Vec<Tid>> {
+    // Kahn's algorithm over the induced subgraph.
+    let mut indegree: HashMap<Tid, usize> = helpset.iter().map(|&t| (t, 0)).collect();
+    let mut succs: HashMap<Tid, Vec<Tid>> = HashMap::new();
+    for &(before, after) in lbset {
+        if helpset.contains(&before) && helpset.contains(&after) {
+            *indegree.get_mut(&after).expect("member") += 1;
+            succs.entry(before).or_default().push(after);
+        }
+    }
+    let mut ready: BTreeSet<Tid> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&t, _)| t)
+        .collect();
+    let mut order = Vec::with_capacity(helpset.len());
+    while let Some(&t) = ready.iter().next() {
+        ready.remove(&t);
+        order.push(t);
+        if let Some(ss) = succs.get(&t) {
+            for &s in ss {
+                let d = indegree.get_mut(&s).expect("member");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(s);
+                }
+            }
+        }
+    }
+    if order.len() == helpset.len() {
+        Ok(order)
+    } else {
+        Err(helpset
+            .iter()
+            .copied()
+            .filter(|t| !order.contains(t))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs_trace::{OpDesc, PathTag};
+
+    fn pool_with(paths: &[(u32, &[Inum])]) -> ThreadPool {
+        let mut pool = ThreadPool::new();
+        for (tid, path) in paths {
+            pool.begin(Tid(*tid), OpDesc::Stat { path: vec![] });
+            let e = pool.get_mut(Tid(*tid)).unwrap();
+            for ino in *path {
+                e.desc.push_lock(*ino, PathTag::Common);
+            }
+        }
+        pool
+    }
+
+    #[test]
+    fn proper_prefix_semantics() {
+        assert!(is_proper_prefix(&[1, 2], &[1, 2, 3]));
+        assert!(!is_proper_prefix(&[1, 2], &[1, 2]));
+        assert!(!is_proper_prefix(&[1, 3], &[1, 2, 3]));
+        assert!(is_proper_prefix(&[], &[1]));
+    }
+
+    #[test]
+    fn figure_4b_help_set() {
+        // t2: rename(/a/e -> /b/c/d/e), SrcPath (root,a,e) = (1,2,3).
+        // t3: stat(/a/e/f), LockPath (1,2,3,4).
+        // An unrelated walker t9 at (1,7) is untouched.
+        let pool = pool_with(&[(3, &[1, 2, 3, 4]), (9, &[1, 7])]);
+        let set = help_set(Tid(2), &[1, 2, 3], &pool);
+        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![Tid(3)]);
+    }
+
+    #[test]
+    fn figure_4c_recursive_help() {
+        // t1: rename with SrcPath (1,5,6) — moves /b/c (inos 5,6).
+        // t2: a rename whose DestPath (1,5,6,7) extends t1's SrcPath and
+        //     whose SrcPath is (1,2,3) — it moves /a/e.
+        // t3: stat with LockPath (1,2,3,8), below t2's source.
+        let mut pool = ThreadPool::new();
+        pool.begin(
+            Tid(2),
+            OpDesc::Rename {
+                src: vec!["a".into(), "e".into()],
+                dst: vec!["b".into(), "c".into(), "d".into(), "e".into()],
+            },
+        );
+        {
+            let e = pool.get_mut(Tid(2)).unwrap();
+            e.desc.push_lock(1, PathTag::Common);
+            e.desc.push_lock(2, PathTag::Src);
+            e.desc.push_lock(3, PathTag::Src);
+            e.desc.push_lock(5, PathTag::Dst);
+            e.desc.push_lock(6, PathTag::Dst);
+            e.desc.push_lock(7, PathTag::Dst);
+        }
+        pool.begin(Tid(3), OpDesc::Stat { path: vec![] });
+        {
+            let e = pool.get_mut(Tid(3)).unwrap();
+            for ino in [1, 2, 3, 8] {
+                e.desc.push_lock(ino, PathTag::Common);
+            }
+        }
+        // t1's SrcPath is (1,5,6): t2's DestPath (1,5,6,7) extends it, so
+        // t2 is in the init set; t3 extends t2's SrcPath (1,2,3), so the
+        // recursive step pulls t3 in as well.
+        let set = help_set(Tid(1), &[1, 5, 6], &pool);
+        assert_eq!(
+            set.iter().copied().collect::<Vec<_>>(),
+            vec![Tid(2), Tid(3)]
+        );
+        // And the order puts the deeper t3 before t2.
+        let lbset = linearize_before_set(&pool);
+        let order = total_order(&set, &lbset).unwrap();
+        assert_eq!(order, vec![Tid(3), Tid(2)]);
+    }
+
+    #[test]
+    fn lb_set_orders_deeper_first() {
+        let pool = pool_with(&[(1, &[1, 2]), (2, &[1, 2, 3]), (3, &[1, 9])]);
+        let lbset = linearize_before_set(&pool);
+        assert!(lbset.contains(&(Tid(2), Tid(1))), "deeper t2 before t1");
+        assert!(!lbset.contains(&(Tid(1), Tid(2))));
+        assert!(!lbset.iter().any(|&(a, b)| a == Tid(3) || b == Tid(3)));
+    }
+
+    #[test]
+    fn total_order_respects_chains() {
+        let pool = pool_with(&[(1, &[1, 2]), (2, &[1, 2, 3]), (3, &[1, 2, 3, 4])]);
+        let lbset = linearize_before_set(&pool);
+        let set: BTreeSet<Tid> = [Tid(1), Tid(2), Tid(3)].into_iter().collect();
+        let order = total_order(&set, &lbset).unwrap();
+        assert_eq!(order, vec![Tid(3), Tid(2), Tid(1)]);
+    }
+
+    #[test]
+    fn cyclic_constraints_are_reported() {
+        let set: BTreeSet<Tid> = [Tid(1), Tid(2)].into_iter().collect();
+        let lbset = vec![(Tid(1), Tid(2)), (Tid(2), Tid(1))];
+        let err = total_order(&set, &lbset).unwrap_err();
+        assert_eq!(err.len(), 2);
+    }
+
+    #[test]
+    fn done_threads_are_not_helped() {
+        let mut pool = pool_with(&[(5, &[1, 2, 3, 4])]);
+        pool.get_mut(Tid(5)).unwrap().aop = crate::ghost::AopState::Done(atomfs_trace::OpRet::Ok);
+        let set = help_set(Tid(1), &[1, 2, 3], &pool);
+        assert!(set.is_empty());
+    }
+}

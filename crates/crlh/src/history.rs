@@ -1,0 +1,127 @@
+//! Invocation/response histories, extracted from traces.
+//!
+//! A history is the externally observable behaviour of an execution —
+//! exactly what linearizability (§2) quantifies over. The LP checker
+//! consumes full traces; the WGL checker consumes the history projection
+//! produced here.
+
+use atomfs_trace::{Event, OpDesc, OpRet, Tid};
+
+/// An invocation or a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HEvent {
+    /// Operation invocation.
+    Inv {
+        /// Invoking thread.
+        tid: Tid,
+        /// The operation and arguments.
+        op: OpDesc,
+    },
+    /// Operation response.
+    Res {
+        /// Responding thread.
+        tid: Tid,
+        /// The observed result.
+        ret: OpRet,
+    },
+}
+
+/// A sequence of invocations and responses in real-time order.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The events, oldest first.
+    pub events: Vec<HEvent>,
+}
+
+impl History {
+    /// Project a full trace onto its invocation/response history.
+    pub fn from_trace(events: &[Event]) -> Self {
+        let events = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::OpBegin { tid, op } => Some(HEvent::Inv {
+                    tid: *tid,
+                    op: op.clone(),
+                }),
+                Event::OpEnd { tid, ret } => Some(HEvent::Res {
+                    tid: *tid,
+                    ret: ret.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        History { events }
+    }
+
+    /// Number of completed operations.
+    pub fn completed_ops(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, HEvent::Res { .. }))
+            .count()
+    }
+
+    /// Whether every invocation has a matching response.
+    pub fn is_complete(&self) -> bool {
+        let mut open = std::collections::HashSet::new();
+        for e in &self.events {
+            match e {
+                HEvent::Inv { tid, .. } => {
+                    if !open.insert(*tid) {
+                        return false;
+                    }
+                }
+                HEvent::Res { tid, .. } => {
+                    if !open.remove(tid) {
+                        return false;
+                    }
+                }
+            }
+        }
+        open.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs_trace::PathTag;
+
+    #[test]
+    fn projection_keeps_only_inv_res() {
+        let trace = vec![
+            Event::OpBegin {
+                tid: Tid(1),
+                op: OpDesc::Stat { path: vec![] },
+            },
+            Event::Lock {
+                tid: Tid(1),
+                ino: 1,
+                tag: PathTag::Common,
+            },
+            Event::Lp { tid: Tid(1) },
+            Event::Unlock {
+                tid: Tid(1),
+                ino: 1,
+            },
+            Event::OpEnd {
+                tid: Tid(1),
+                ret: OpRet::Ok,
+            },
+        ];
+        let h = History::from_trace(&trace);
+        assert_eq!(h.events.len(), 2);
+        assert!(h.is_complete());
+        assert_eq!(h.completed_ops(), 1);
+    }
+
+    #[test]
+    fn incomplete_detected() {
+        let trace = vec![Event::OpBegin {
+            tid: Tid(1),
+            op: OpDesc::Stat { path: vec![] },
+        }];
+        let h = History::from_trace(&trace);
+        assert!(!h.is_complete());
+    }
+}

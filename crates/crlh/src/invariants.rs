@@ -1,0 +1,285 @@
+//! The global invariants of AtomFS (Table 1).
+//!
+//! | Invariant | Where it is checked |
+//! |---|---|
+//! | Abstract-concrete-relation | [`crate::rollback`] at every unlock (configurable) |
+//! | Helped-non-bypassable | incrementally at each `Lock` event ([`crate::checker`]) |
+//! | Unhelped-non-bypassable | incrementally at each `Lock` event |
+//! | GoodAFS | [`good_afs`], at every LP |
+//! | Last-locked-lockpath | [`last_locked_lockpath`], at every LP |
+//! | Helplist-consistency | [`helplist_consistency`], at every LP |
+//! | Future-lockpath-validness | incrementally at each `Lock` + at discharge |
+//! | Lockpath-wellformed | [`lockpath_wellformed`], at every LP |
+//!
+//! The incremental checks live in the checker because they are naturally
+//! attached to single events; this module hosts the whole-state ones.
+
+use std::collections::HashMap;
+
+use atomfs_trace::{Inum, Tid};
+
+use crate::checker::ViolationKind;
+use crate::ghost::ThreadPool;
+use crate::helper::{is_proper_prefix, linearize_before_set};
+use crate::state::{FsState, Node};
+
+/// Run every whole-state invariant, collecting violations.
+pub fn check_all(
+    afs: &FsState,
+    pool: &ThreadPool,
+    locks: &HashMap<Inum, Tid>,
+) -> Vec<(ViolationKind, String)> {
+    let mut out = Vec::new();
+    out.extend(
+        good_afs(afs)
+            .into_iter()
+            .map(|m| (ViolationKind::GoodAfs, m)),
+    );
+    out.extend(
+        last_locked_lockpath(pool, locks)
+            .into_iter()
+            .map(|m| (ViolationKind::LastLockedLockpath, m)),
+    );
+    out.extend(
+        helplist_consistency(pool)
+            .into_iter()
+            .map(|m| (ViolationKind::HelplistConsistency, m)),
+    );
+    out.extend(
+        lockpath_wellformed(pool)
+            .into_iter()
+            .map(|m| (ViolationKind::LockpathWellformed, m)),
+    );
+    out
+}
+
+/// `GoodAFS`: the abstract file system forms a tree — the root exists and
+/// is a directory, every link targets a live inode, every non-root inode
+/// has exactly one parent, and everything is reachable from the root.
+pub fn good_afs(afs: &FsState) -> Vec<String> {
+    let mut out = Vec::new();
+    match afs.node(afs.root) {
+        Some(Node::Dir(_)) => {}
+        Some(Node::File(_)) => out.push("root is a file".to_string()),
+        None => out.push("root inode missing".to_string()),
+    }
+    let mut parents: HashMap<Inum, Vec<Inum>> = HashMap::new();
+    for (&id, node) in &afs.map {
+        if let Node::Dir(d) = node {
+            for (name, &child) in d {
+                if !afs.map.contains_key(&child) {
+                    out.push(format!("dangling link {name} -> {child} in dir {id}"));
+                }
+                parents.entry(child).or_default().push(id);
+            }
+        }
+    }
+    for &id in afs.map.keys() {
+        if id == afs.root {
+            if parents.contains_key(&id) {
+                out.push("root has a parent link".to_string());
+            }
+            continue;
+        }
+        match parents.get(&id).map(Vec::len).unwrap_or(0) {
+            1 => {}
+            0 => out.push(format!("inode {id} is unreachable (no parent link)")),
+            n => out.push(format!("inode {id} has {n} parent links")),
+        }
+    }
+    let reachable = afs.reachable();
+    if reachable.len() != afs.map.len() {
+        out.push(format!(
+            "{} inode(s) not reachable from the root",
+            afs.map.len() - reachable.len()
+        ));
+    }
+    out
+}
+
+/// `Last-locked-lockpath`: for every *pending* operation that currently
+/// holds at least one lock, the last inode of each of its lock paths is
+/// locked by that thread. (Linearized operations are exempt: they release
+/// their locks after their LP.)
+pub fn last_locked_lockpath(pool: &ThreadPool, locks: &HashMap<Inum, Tid>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut held_by: HashMap<Tid, usize> = HashMap::new();
+    for &t in locks.values() {
+        *held_by.entry(t).or_default() += 1;
+    }
+    for (tid, entry) in pool.iter() {
+        if !entry.aop.is_pending() || held_by.get(&tid).copied().unwrap_or(0) == 0 {
+            continue;
+        }
+        for path in entry.desc.lock_paths() {
+            if let Some(&last) = path.last() {
+                if locks.get(&last) != Some(&tid) {
+                    out.push(format!(
+                        "pending {tid}: last lock-path inode {last} not locked by it"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `Helplist-consistency`: a thread is on the Helplist iff its entry is
+/// marked helped and still carries undischarged effects.
+pub fn helplist_consistency(pool: &ThreadPool) -> Vec<String> {
+    let mut out = Vec::new();
+    for tid in &pool.helplist {
+        match pool.get(*tid) {
+            None => out.push(format!("Helplist references finished thread {tid}")),
+            Some(e) if !e.desc.helped => {
+                out.push(format!("Helplist contains unhelped thread {tid}"))
+            }
+            Some(e) if e.aop.is_pending() => {
+                out.push(format!("Helplist contains unlinearized thread {tid}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (tid, e) in pool.iter() {
+        let on_list = pool.helplist.contains(&tid);
+        let has_effect = !e.desc.effect.is_empty();
+        if has_effect && e.desc.helped && !on_list {
+            out.push(format!(
+                "helped {tid} holds undischarged effects but is not on the Helplist"
+            ));
+        }
+    }
+    out
+}
+
+/// `Lockpath-wellformed`: the LockPathPrefix relation over pending threads
+/// is acyclic (equivalently here: no two pending threads own identical
+/// lock paths, and prefix chains are consistent).
+pub fn lockpath_wellformed(pool: &ThreadPool) -> Vec<String> {
+    let mut out = Vec::new();
+    let pending = pool.pending();
+    for (i, &a) in pending.iter().enumerate() {
+        for &b in pending.iter().skip(i + 1) {
+            let pa = pool.get(a).expect("pending").desc.lock_paths();
+            let pb = pool.get(b).expect("pending").desc.lock_paths();
+            for x in &pa {
+                for y in &pb {
+                    if !x.is_empty() && x == y {
+                        out.push(format!("{a} and {b} share the identical lock path {x:?}"));
+                    }
+                }
+            }
+        }
+    }
+    // Cycle detection over the linearize-before relation.
+    let lbset = linearize_before_set(pool);
+    let set: std::collections::BTreeSet<Tid> = pending.iter().copied().collect();
+    if let Err(cyclic) = crate::helper::total_order(&set, &lbset) {
+        out.push(format!(
+            "LockPathPrefix relation is cyclic among {cyclic:?}"
+        ));
+    }
+    // Sanity: proper-prefix must be irreflexive by construction.
+    for &t in &pending {
+        for p in pool.get(t).expect("pending").desc.lock_paths() {
+            if is_proper_prefix(&p, &p) {
+                out.push(format!("degenerate prefix relation for {t}"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs_trace::{MicroOp, OpDesc, PathTag, ROOT_INUM};
+    use atomfs_vfs::FileType;
+
+    #[test]
+    fn good_afs_accepts_tree() {
+        let mut s = FsState::new();
+        s.apply_micro(&MicroOp::Create {
+            ino: 2,
+            ftype: FileType::Dir,
+        })
+        .unwrap();
+        s.apply_micro(&MicroOp::Ins {
+            parent: ROOT_INUM,
+            name: "a".into(),
+            child: 2,
+        })
+        .unwrap();
+        assert!(good_afs(&s).is_empty());
+    }
+
+    #[test]
+    fn good_afs_rejects_orphan_and_dangling() {
+        let mut s = FsState::new();
+        s.map.insert(9, Node::File(vec![]));
+        let v = good_afs(&s);
+        assert!(!v.is_empty());
+        let mut s = FsState::new();
+        if let Some(Node::Dir(d)) = s.map.get_mut(&ROOT_INUM) {
+            d.insert("ghost".into(), 77);
+        }
+        assert!(good_afs(&s).iter().any(|m| m.contains("dangling")));
+    }
+
+    #[test]
+    fn good_afs_rejects_double_parent() {
+        let mut s = FsState::new();
+        s.map.insert(2, Node::Dir(Default::default()));
+        s.map.insert(3, Node::File(vec![]));
+        if let Some(Node::Dir(d)) = s.map.get_mut(&ROOT_INUM) {
+            d.insert("d".into(), 2);
+            d.insert("f1".into(), 3);
+        }
+        if let Some(Node::Dir(d)) = s.map.get_mut(&2) {
+            d.insert("f2".into(), 3);
+        }
+        assert!(good_afs(&s).iter().any(|m| m.contains("2 parent links")));
+    }
+
+    #[test]
+    fn last_locked_checks_pending_holders() {
+        let mut pool = ThreadPool::new();
+        pool.begin(Tid(1), OpDesc::Stat { path: vec![] });
+        let e = pool.get_mut(Tid(1)).unwrap();
+        e.desc.push_lock(1, PathTag::Common);
+        e.desc.push_lock(2, PathTag::Common);
+        let mut locks = HashMap::new();
+        // Holds inode 2 (its last) — fine.
+        locks.insert(2, Tid(1));
+        assert!(last_locked_lockpath(&pool, &locks).is_empty());
+        // Holds only inode 1 while its path ends at 2 — violation.
+        locks.clear();
+        locks.insert(1, Tid(1));
+        assert_eq!(last_locked_lockpath(&pool, &locks).len(), 1);
+        // Holds nothing — vacuously fine (op past its critical section).
+        locks.clear();
+        assert!(last_locked_lockpath(&pool, &locks).is_empty());
+    }
+
+    #[test]
+    fn helplist_consistency_flags_mismatch() {
+        let mut pool = ThreadPool::new();
+        pool.begin(Tid(1), OpDesc::Stat { path: vec![] });
+        pool.push_helped(Tid(1)); // but entry is pending and unhelped
+        let v = helplist_consistency(&pool);
+        assert!(v.iter().any(|m| m.contains("unhelped")));
+    }
+
+    #[test]
+    fn wellformed_rejects_identical_paths() {
+        let mut pool = ThreadPool::new();
+        for t in [1, 2] {
+            pool.begin(Tid(t), OpDesc::Stat { path: vec![] });
+            let e = pool.get_mut(Tid(t)).unwrap();
+            e.desc.push_lock(1, PathTag::Common);
+            e.desc.push_lock(2, PathTag::Common);
+        }
+        let v = lockpath_wellformed(&pool);
+        assert!(v.iter().any(|m| m.contains("identical lock path")));
+    }
+}

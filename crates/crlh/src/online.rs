@@ -1,0 +1,75 @@
+//! Online checking: run the LP checker *while* the file system executes.
+//!
+//! [`OnlineChecker`] is a [`TraceSink`] that feeds each event straight
+//! into an [`LpChecker`] under a mutex. Because emitters call the sink at
+//! the atomic instant each event describes, the mutex ordering is a legal
+//! total order — the same property the offline buffer relies on — so
+//! online and offline checking accept exactly the same executions.
+
+use parking_lot::Mutex;
+
+use atomfs_trace::{Event, TraceSink};
+
+use crate::checker::{CheckReport, CheckerConfig, LpChecker};
+
+/// A trace sink that checks events as they arrive.
+pub struct OnlineChecker {
+    inner: Mutex<LpChecker>,
+}
+
+impl OnlineChecker {
+    /// Create an online checker with the given configuration.
+    pub fn new(cfg: CheckerConfig) -> Self {
+        OnlineChecker {
+            inner: Mutex::new(LpChecker::new(cfg)),
+        }
+    }
+
+    /// Number of violations observed so far.
+    pub fn violation_count(&self) -> usize {
+        self.inner.lock().violations().len()
+    }
+
+    /// Finish checking and produce the report. Call after all file system
+    /// activity has quiesced (threads joined).
+    pub fn finish(self) -> CheckReport {
+        self.inner.into_inner().finish()
+    }
+}
+
+impl Default for OnlineChecker {
+    fn default() -> Self {
+        Self::new(CheckerConfig::default())
+    }
+}
+
+impl TraceSink for OnlineChecker {
+    fn emit(&self, event: Event) {
+        self.inner.lock().feed(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs_trace::{OpDesc, OpRet, Tid};
+
+    #[test]
+    fn online_checker_accumulates() {
+        let c = OnlineChecker::default();
+        c.emit(Event::OpBegin {
+            tid: Tid(1),
+            op: OpDesc::Mkdir {
+                path: vec!["a".into()],
+            },
+        });
+        // Ending without an LP is a NoLinearization violation.
+        c.emit(Event::OpEnd {
+            tid: Tid(1),
+            ret: OpRet::Ok,
+        });
+        assert_eq!(c.violation_count(), 1);
+        let report = c.finish();
+        assert!(!report.is_ok());
+    }
+}

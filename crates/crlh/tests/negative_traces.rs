@@ -1,0 +1,349 @@
+//! Checker sensitivity: hand-crafted malformed traces must trigger each
+//! violation class.
+//!
+//! The positive tests show correct executions check clean; these show the
+//! checker is not *vacuously* clean — every enforcement path fires on the
+//! smallest trace that breaks it. Together they bound the checker the way
+//! soundness + non-triviality arguments bound a logic.
+
+use atomfs_trace::{Event, MicroOp, OpDesc, OpRet, PathTag, StatRet, Tid, ROOT_INUM};
+use atomfs_vfs::{FileType, FsError};
+use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence, ViolationKind};
+
+fn comps(s: &[&str]) -> Vec<String> {
+    s.iter().map(|c| c.to_string()).collect()
+}
+
+fn check(events: Vec<Event>) -> crlh::CheckReport {
+    LpChecker::check(
+        CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::AtUnlock,
+            invariants: true,
+        },
+        &events,
+    )
+}
+
+fn has(report: &crlh::CheckReport, kind: ViolationKind) -> bool {
+    !report.of_kind(kind).is_empty()
+}
+
+/// A correct, minimal mkdir("/a") trace — the template the negative cases
+/// mutate.
+fn good_mkdir(tid: Tid, name: &str, ino: u64) -> Vec<Event> {
+    vec![
+        Event::OpBegin {
+            tid,
+            op: OpDesc::Mkdir {
+                path: comps(&[name]),
+            },
+        },
+        Event::Lock {
+            tid,
+            ino: ROOT_INUM,
+            tag: PathTag::Common,
+        },
+        Event::Mutate {
+            tid,
+            mop: MicroOp::Create {
+                ino,
+                ftype: FileType::Dir,
+            },
+        },
+        Event::Mutate {
+            tid,
+            mop: MicroOp::Ins {
+                parent: ROOT_INUM,
+                name: name.into(),
+                child: ino,
+            },
+        },
+        Event::Lp { tid },
+        Event::Unlock {
+            tid,
+            ino: ROOT_INUM,
+        },
+        Event::OpEnd {
+            tid,
+            ret: OpRet::Ok,
+        },
+    ]
+}
+
+#[test]
+fn template_is_clean() {
+    check(good_mkdir(Tid(1), "a", 2)).assert_ok();
+}
+
+#[test]
+fn double_lock_is_protocol_violation() {
+    let mut t = good_mkdir(Tid(1), "a", 2);
+    t.insert(
+        2,
+        Event::Lock {
+            tid: Tid(1),
+            ino: ROOT_INUM,
+            tag: PathTag::Common,
+        },
+    );
+    let r = check(t);
+    assert!(has(&r, ViolationKind::Protocol), "{:?}", r.violations);
+}
+
+#[test]
+fn unlock_unheld_is_protocol_violation() {
+    let t = vec![
+        Event::OpBegin {
+            tid: Tid(1),
+            op: OpDesc::Stat { path: comps(&[]) },
+        },
+        Event::Unlock {
+            tid: Tid(1),
+            ino: 42,
+        },
+        Event::Lp { tid: Tid(1) },
+        Event::OpEnd {
+            tid: Tid(1),
+            ret: OpRet::Stat(StatRet {
+                is_dir: true,
+                size: 0,
+            }),
+        },
+    ];
+    assert!(has(&check(t), ViolationKind::Protocol));
+}
+
+#[test]
+fn lock_outside_operation_is_protocol_violation() {
+    let t = vec![Event::Lock {
+        tid: Tid(1),
+        ino: ROOT_INUM,
+        tag: PathTag::Common,
+    }];
+    let r = check(t);
+    assert!(has(&r, ViolationKind::Protocol));
+}
+
+#[test]
+fn double_begin_is_protocol_violation() {
+    let mut t = good_mkdir(Tid(1), "a", 2);
+    t.insert(
+        1,
+        Event::OpBegin {
+            tid: Tid(1),
+            op: OpDesc::Stat { path: comps(&[]) },
+        },
+    );
+    assert!(has(&check(t), ViolationKind::Protocol));
+}
+
+#[test]
+fn end_without_begin_is_protocol_violation() {
+    let t = vec![Event::OpEnd {
+        tid: Tid(9),
+        ret: OpRet::Ok,
+    }];
+    assert!(has(&check(t), ViolationKind::Protocol));
+}
+
+#[test]
+fn trace_ending_mid_operation_is_flagged() {
+    let mut t = good_mkdir(Tid(1), "a", 2);
+    t.truncate(5); // cut before Unlock/OpEnd
+    let r = check(t);
+    assert!(has(&r, ViolationKind::Protocol), "{:?}", r.violations);
+}
+
+#[test]
+fn impossible_mutation_is_shadow_state_violation() {
+    let mut t = good_mkdir(Tid(1), "a", 2);
+    // Claim to delete an entry that never existed.
+    t.insert(
+        2,
+        Event::Mutate {
+            tid: Tid(1),
+            mop: MicroOp::Del {
+                parent: ROOT_INUM,
+                name: "ghost".into(),
+                child: 99,
+            },
+        },
+    );
+    assert!(has(&check(t), ViolationKind::ShadowState));
+}
+
+#[test]
+fn mutation_without_lock_is_rely_guarantee_violation() {
+    // The Ins lands on the root without the thread holding its lock.
+    let t = vec![
+        Event::OpBegin {
+            tid: Tid(1),
+            op: OpDesc::Mkdir {
+                path: comps(&["a"]),
+            },
+        },
+        Event::Mutate {
+            tid: Tid(1),
+            mop: MicroOp::Create {
+                ino: 2,
+                ftype: FileType::Dir,
+            },
+        },
+        Event::Mutate {
+            tid: Tid(1),
+            mop: MicroOp::Ins {
+                parent: ROOT_INUM,
+                name: "a".into(),
+                child: 2,
+            },
+        },
+        Event::Lp { tid: Tid(1) },
+        Event::OpEnd {
+            tid: Tid(1),
+            ret: OpRet::Ok,
+        },
+    ];
+    assert!(has(&check(t), ViolationKind::RelyGuarantee));
+}
+
+#[test]
+fn wrong_return_value_is_return_mismatch() {
+    let mut t = good_mkdir(Tid(1), "a", 2);
+    *t.last_mut().unwrap() = Event::OpEnd {
+        tid: Tid(1),
+        ret: OpRet::Err(FsError::Exists), // but the abstract op succeeded
+    };
+    assert!(has(&check(t), ViolationKind::ReturnMismatch));
+}
+
+#[test]
+fn missing_lp_is_no_linearization() {
+    let mut t = good_mkdir(Tid(1), "a", 2);
+    t.retain(|e| !matches!(e, Event::Lp { .. }));
+    let r = check(t);
+    assert!(
+        has(&r, ViolationKind::NoLinearization),
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn lying_about_success_while_mutating_nothing_is_caught() {
+    // An op that claims mkdir succeeded but performed no mutations: the
+    // abstract level applies INS, the shadow never catches up.
+    let t = vec![
+        Event::OpBegin {
+            tid: Tid(1),
+            op: OpDesc::Mkdir {
+                path: comps(&["a"]),
+            },
+        },
+        Event::Lock {
+            tid: Tid(1),
+            ino: ROOT_INUM,
+            tag: PathTag::Common,
+        },
+        Event::Lp { tid: Tid(1) },
+        Event::Unlock {
+            tid: Tid(1),
+            ino: ROOT_INUM,
+        },
+        Event::OpEnd {
+            tid: Tid(1),
+            ret: OpRet::Ok,
+        },
+    ];
+    let r = check(t);
+    assert!(
+        has(&r, ViolationKind::AbstractionRelation),
+        "{:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn stale_read_is_return_mismatch() {
+    // mkdir /a completes, then a stat claims /a does not exist.
+    let mut t = good_mkdir(Tid(1), "a", 2);
+    t.extend(vec![
+        Event::OpBegin {
+            tid: Tid(2),
+            op: OpDesc::Stat {
+                path: comps(&["a"]),
+            },
+        },
+        Event::Lock {
+            tid: Tid(2),
+            ino: ROOT_INUM,
+            tag: PathTag::Common,
+        },
+        Event::Lp { tid: Tid(2) },
+        Event::Unlock {
+            tid: Tid(2),
+            ino: ROOT_INUM,
+        },
+        Event::OpEnd {
+            tid: Tid(2),
+            ret: OpRet::Err(FsError::NotFound),
+        },
+    ]);
+    assert!(has(&check(t), ViolationKind::ReturnMismatch));
+}
+
+#[test]
+fn fabricated_helplist_via_unconsumed_creation() {
+    // A rename whose LP "helps" a pending mkdir that then never performs
+    // its concrete creation: the provisional inode can never bind.
+    let t = vec![
+        // Pending mkdir walks through root and parks below the rename src.
+        Event::OpBegin {
+            tid: Tid(2),
+            op: OpDesc::Mkdir {
+                path: comps(&["a", "sub"]),
+            },
+        },
+        Event::Lock {
+            tid: Tid(2),
+            ino: ROOT_INUM,
+            tag: PathTag::Common,
+        },
+        Event::Lock {
+            tid: Tid(2),
+            ino: 5,
+            tag: PathTag::Common,
+        },
+        Event::Unlock {
+            tid: Tid(2),
+            ino: ROOT_INUM,
+        },
+        // ... but /a (ino 5) was never created in this trace: the shadow
+        // state cannot even host these locks consistently.
+        Event::Lp { tid: Tid(2) },
+        Event::Unlock {
+            tid: Tid(2),
+            ino: 5,
+        },
+        Event::OpEnd {
+            tid: Tid(2),
+            ret: OpRet::Ok,
+        },
+    ];
+    let r = check(t);
+    assert!(!r.is_ok(), "{:?}", r.violations);
+}
+
+#[test]
+fn fixed_lp_mode_flags_only_the_helping_cases() {
+    // Sanity: FixedLp mode accepts plain sequential traces too.
+    let r = LpChecker::check(
+        CheckerConfig {
+            mode: HelperMode::FixedLp,
+            relation: RelationCadence::AtUnlock,
+            invariants: true,
+        },
+        &good_mkdir(Tid(1), "a", 2),
+    );
+    r.assert_ok();
+}

@@ -1,0 +1,154 @@
+//! A simulated block device with crash injection.
+//!
+//! Writes land in a volatile cache; [`Disk::flush`] makes everything
+//! written so far durable; [`Disk::crash`] throws the volatile cache away
+//! — optionally keeping a caller-chosen subset of unflushed sector
+//! writes, modelling a drive that persisted some queued writes out of
+//! order before power was lost (the adversarial reordering that journal
+//! checksums exist to survive).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Bytes per sector.
+pub const SECTOR_SIZE: usize = 512;
+
+/// One sector's payload.
+pub type Sector = [u8; SECTOR_SIZE];
+
+#[derive(Default)]
+struct DiskState {
+    /// Durable contents.
+    durable: HashMap<u64, Sector>,
+    /// Written but not yet flushed, in write order.
+    volatile: Vec<(u64, Sector)>,
+    writes: u64,
+    flushes: u64,
+}
+
+/// The simulated device.
+#[derive(Default)]
+pub struct Disk {
+    state: Mutex<DiskState>,
+}
+
+impl Disk {
+    /// A fresh, zeroed disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read sector `lba` (unwritten sectors read as zeroes), observing
+    /// the volatile cache like a real drive would.
+    pub fn read(&self, lba: u64) -> Sector {
+        let st = self.state.lock();
+        // The newest volatile write to this sector wins over durable data.
+        if let Some((_, data)) = st.volatile.iter().rev().find(|(l, _)| *l == lba) {
+            return *data;
+        }
+        st.durable.get(&lba).copied().unwrap_or([0u8; SECTOR_SIZE])
+    }
+
+    /// Write sector `lba` into the volatile cache.
+    pub fn write(&self, lba: u64, data: &Sector) {
+        let mut st = self.state.lock();
+        st.volatile.push((lba, *data));
+        st.writes += 1;
+    }
+
+    /// Make everything written so far durable (a write barrier + flush).
+    pub fn flush(&self) {
+        let mut st = self.state.lock();
+        let queued = std::mem::take(&mut st.volatile);
+        for (lba, data) in queued {
+            st.durable.insert(lba, data);
+        }
+        st.flushes += 1;
+    }
+
+    /// Crash: drop the volatile cache, except that for each queued write
+    /// `keep(i)` decides whether the drive happened to persist it anyway
+    /// (indices are in write order). Pass `|_| false` for a clean
+    /// power-cut, or a random predicate for adversarial reordering.
+    pub fn crash(&self, mut keep: impl FnMut(usize) -> bool) {
+        let mut st = self.state.lock();
+        let queued = std::mem::take(&mut st.volatile);
+        for (i, (lba, data)) in queued.into_iter().enumerate() {
+            if keep(i) {
+                st.durable.insert(lba, data);
+            }
+        }
+    }
+
+    /// Total sector writes issued.
+    pub fn write_count(&self) -> u64 {
+        self.state.lock().writes
+    }
+
+    /// Total flush barriers issued.
+    pub fn flush_count(&self) -> u64 {
+        self.state.lock().flushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sect(b: u8) -> Sector {
+        [b; SECTOR_SIZE]
+    }
+
+    #[test]
+    fn read_your_writes_before_flush() {
+        let d = Disk::new();
+        d.write(3, &sect(7));
+        assert_eq!(d.read(3), sect(7));
+        assert_eq!(d.read(4), sect(0), "unwritten sectors are zero");
+    }
+
+    #[test]
+    fn clean_crash_loses_unflushed() {
+        let d = Disk::new();
+        d.write(1, &sect(1));
+        d.flush();
+        d.write(2, &sect(2));
+        d.crash(|_| false);
+        assert_eq!(d.read(1), sect(1), "flushed data survives");
+        assert_eq!(d.read(2), sect(0), "unflushed data is gone");
+    }
+
+    #[test]
+    fn adversarial_crash_keeps_arbitrary_subset() {
+        let d = Disk::new();
+        d.write(1, &sect(1));
+        d.write(2, &sect(2));
+        d.write(3, &sect(3));
+        // The drive persisted only the *middle* write before dying.
+        d.crash(|i| i == 1);
+        assert_eq!(d.read(1), sect(0));
+        assert_eq!(d.read(2), sect(2));
+        assert_eq!(d.read(3), sect(0));
+    }
+
+    #[test]
+    fn newest_volatile_write_wins() {
+        let d = Disk::new();
+        d.write(5, &sect(1));
+        d.write(5, &sect(2));
+        assert_eq!(d.read(5), sect(2));
+        d.flush();
+        assert_eq!(d.read(5), sect(2));
+    }
+
+    #[test]
+    fn counters() {
+        let d = Disk::new();
+        d.write(0, &sect(0));
+        d.write(1, &sect(0));
+        d.flush();
+        assert_eq!(d.write_count(), 2);
+        assert_eq!(d.flush_count(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Crash safety for AtomFS — the paper's other named future work (§6).
+//!
+//! The paper's AtomFS is in-memory and explicitly excludes crashes, but
+//! points at the design it would adopt: decouple the in-memory file
+//! system from an on-disk representation via an operation log (the
+//! ScaleFS approach it cites). This crate implements that substrate:
+//!
+//! * [`device::Disk`] — a simulated block device whose crash model
+//!   includes out-of-order partial persistence of unflushed writes;
+//! * [`wire`] — a checksummed, epoch-stamped binary record format for
+//!   micro-operation batches;
+//! * [`journal`] — an append-only log with prefix-exact recovery: the
+//!   scan stops at the first torn/corrupt/stale record, so what survives
+//!   a crash is always a *prefix* of the appended history;
+//! * [`fs::JournaledFs`] — AtomFS wired to the log through its trace
+//!   sink (every inode-granularity mutation is a log record, in global
+//!   mutation order), with `sync()` as the durability barrier and
+//!   recovery-as-checkpoint (log compaction).
+//!
+//! The correctness story composes with CRL-H: because the log records
+//! the same micro-operation stream the checker's shadow state replays,
+//! crash consistency reduces to prefix consistency of that stream, which
+//! the `crash_consistency` integration tests assert under randomized
+//! crash injection.
+//!
+//! Like the paper's discussion, this extension is *outside* the
+//! linearizability-checked core: the checker validates in-memory
+//! executions; the journal's own tests validate durability.
+
+pub mod device;
+pub mod fs;
+pub mod journal;
+pub mod wire;
+
+pub use device::Disk;
+pub use fs::{materialize, JournalSink, JournaledFs, RecoveryStats};
+pub use journal::{recover, Journal, Recovered};

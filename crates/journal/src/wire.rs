@@ -1,0 +1,309 @@
+//! Binary encoding of micro-operations for the on-disk log.
+//!
+//! Hand-rolled little-endian encoding (no format crates in the dependency
+//! budget): every record is self-describing and checksummed, so recovery
+//! can detect torn writes and out-of-order partial persistence.
+
+use atomfs_trace::MicroOp;
+use atomfs_vfs::FileType;
+
+/// Record magic: "AJRN" little-endian.
+pub const MAGIC: u32 = 0x4e524a41;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8")))
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        self.take(n).map(<[u8]>::to_vec)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
+    }
+}
+
+fn ftype_tag(f: FileType) -> u8 {
+    match f {
+        FileType::File => 0,
+        FileType::Dir => 1,
+    }
+}
+
+fn ftype_from(tag: u8) -> Option<FileType> {
+    match tag {
+        0 => Some(FileType::File),
+        1 => Some(FileType::Dir),
+        _ => None,
+    }
+}
+
+/// Encode one micro-op.
+pub fn encode_op(op: &MicroOp, out: &mut Vec<u8>) {
+    match op {
+        MicroOp::Create { ino, ftype } => {
+            out.push(0);
+            put_u64(out, *ino);
+            out.push(ftype_tag(*ftype));
+        }
+        MicroOp::Remove { ino, ftype } => {
+            out.push(1);
+            put_u64(out, *ino);
+            out.push(ftype_tag(*ftype));
+        }
+        MicroOp::Ins {
+            parent,
+            name,
+            child,
+        } => {
+            out.push(2);
+            put_u64(out, *parent);
+            put_bytes(out, name.as_bytes());
+            put_u64(out, *child);
+        }
+        MicroOp::Del {
+            parent,
+            name,
+            child,
+        } => {
+            out.push(3);
+            put_u64(out, *parent);
+            put_bytes(out, name.as_bytes());
+            put_u64(out, *child);
+        }
+        MicroOp::SetData { ino, old, new } => {
+            out.push(4);
+            put_u64(out, *ino);
+            put_bytes(out, old);
+            put_bytes(out, new);
+        }
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Option<MicroOp> {
+    Some(match r.u8()? {
+        0 => MicroOp::Create {
+            ino: r.u64()?,
+            ftype: ftype_from(r.u8()?)?,
+        },
+        1 => MicroOp::Remove {
+            ino: r.u64()?,
+            ftype: ftype_from(r.u8()?)?,
+        },
+        2 => MicroOp::Ins {
+            parent: r.u64()?,
+            name: r.string()?,
+            child: r.u64()?,
+        },
+        3 => MicroOp::Del {
+            parent: r.u64()?,
+            name: r.string()?,
+            child: r.u64()?,
+        },
+        4 => MicroOp::SetData {
+            ino: r.u64()?,
+            old: r.bytes()?,
+            new: r.bytes()?,
+        },
+        _ => return None,
+    })
+}
+
+/// FNV-1a over a byte slice — the record checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Encode one journal record: an epoch (log generation — a recovery
+/// checkpoint rewrites the log under a higher epoch, so stale records
+/// from the previous generation can never be replayed), a sequence
+/// number, and a batch of ops.
+///
+/// Layout: `MAGIC u32 | epoch u64 | seq u64 | payload_len u32 | payload | fnv u64`
+/// where the checksum covers everything before it.
+pub fn encode_record(epoch: u64, seq: u64, ops: &[MicroOp]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, ops.len() as u32);
+    for op in ops {
+        encode_op(op, &mut payload);
+    }
+    let mut rec = Vec::with_capacity(payload.len() + 32);
+    put_u32(&mut rec, MAGIC);
+    put_u64(&mut rec, epoch);
+    put_u64(&mut rec, seq);
+    put_u32(&mut rec, payload.len() as u32);
+    rec.extend_from_slice(&payload);
+    let sum = checksum(&rec);
+    put_u64(&mut rec, sum);
+    rec
+}
+
+/// Try to decode one record at the start of `buf`.
+///
+/// Returns the record's `(epoch, seq, ops, total_len)` or `None` when the
+/// bytes are not a complete, checksummed record (recovery stops there).
+pub fn decode_record(buf: &[u8]) -> Option<(u64, u64, Vec<MicroOp>, usize)> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.u32()? != MAGIC {
+        return None;
+    }
+    let epoch = r.u64()?;
+    let seq = r.u64()?;
+    let payload_len = r.u32()? as usize;
+    let payload_start = r.pos;
+    let payload = r.take(payload_len)?;
+    let stored_sum = r.u64()?;
+    let total = r.pos;
+    if checksum(&buf[..payload_start + payload_len]) != stored_sum {
+        return None;
+    }
+    let mut pr = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let count = pr.u32()? as usize;
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        ops.push(decode_op(&mut pr)?);
+    }
+    if pr.pos != payload.len() {
+        return None; // trailing garbage inside the payload
+    }
+    Some((epoch, seq, ops, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<MicroOp> {
+        vec![
+            MicroOp::Create {
+                ino: 7,
+                ftype: FileType::Dir,
+            },
+            MicroOp::Ins {
+                parent: 1,
+                name: "directory name".into(),
+                child: 7,
+            },
+            MicroOp::SetData {
+                ino: 9,
+                old: b"before".to_vec(),
+                new: vec![0xEE; 1000],
+            },
+            MicroOp::Del {
+                parent: 1,
+                name: "x".into(),
+                child: 3,
+            },
+            MicroOp::Remove {
+                ino: 3,
+                ftype: FileType::File,
+            },
+        ]
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let ops = sample_ops();
+        let rec = encode_record(3, 42, &ops);
+        let (epoch, seq, decoded, len) = decode_record(&rec).expect("valid record");
+        assert_eq!(epoch, 3);
+        assert_eq!(seq, 42);
+        assert_eq!(decoded, ops);
+        assert_eq!(len, rec.len());
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let rec = encode_record(1, 0, &[]);
+        let (_, seq, ops, _) = decode_record(&rec).unwrap();
+        assert_eq!(seq, 0);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ops = sample_ops();
+        let rec = encode_record(1, 1, &ops);
+        for i in 0..rec.len() {
+            let mut bad = rec.clone();
+            bad[i] ^= 0xFF;
+            assert!(
+                decode_record(&bad).is_none(),
+                "flipping byte {i} must invalidate the record"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let rec = encode_record(1, 1, &sample_ops());
+        for cut in 0..rec.len() {
+            assert!(decode_record(&rec[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_records_parse_sequentially() {
+        let a = encode_record(1, 1, &sample_ops());
+        let b = encode_record(1, 2, &[]);
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (_, s1, _, l1) = decode_record(&stream).unwrap();
+        assert_eq!(s1, 1);
+        let (_, s2, _, _) = decode_record(&stream[l1..]).unwrap();
+        assert_eq!(s2, 2);
+    }
+
+    #[test]
+    fn zeros_are_not_a_record() {
+        assert!(decode_record(&[0u8; 64]).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! The discrete-event engine.
+//!
+//! Threads execute their event lists in program order. `Work(d)` advances
+//! the thread's clock by `d` virtual nanoseconds; `Acquire(l)` either
+//! takes the free lock immediately or suspends the thread on the lock's
+//! FIFO queue; `Release(l)` hands the lock to the first waiter (which
+//! resumes at the release instant). The machine is assumed to have at
+//! least as many cores as runnable threads (the paper's experiment never
+//! oversubscribes its 16 cores), so CPU scheduling never delays anyone —
+//! only locks do.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Virtual nanoseconds.
+pub type Time = u64;
+
+/// One step of a thread's script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// Block until the lock is available, then hold it.
+    Acquire(u64),
+    /// Release a held lock.
+    Release(u64),
+    /// Compute for the given virtual duration.
+    Work(Time),
+}
+
+/// A thread's whole execution: a flat event list plus the number of
+/// operations it represents (for throughput accounting).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPlan {
+    /// The events, in program order.
+    pub events: Vec<SimEvent>,
+    /// Operations this plan performs.
+    pub ops: u64,
+}
+
+/// Result of a simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimResult {
+    /// Virtual time at which the last thread finished.
+    pub makespan: Time,
+    /// Total operations across all threads.
+    pub ops: u64,
+}
+
+impl SimResult {
+    /// Operations per virtual second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / (self.makespan as f64 / 1e9).max(1e-12)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Lock {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+/// Execute `plans` on an ideal machine with ≥ `plans.len()` cores.
+///
+/// Deterministic: FIFO lock queues, ties in the ready queue broken by
+/// thread index.
+///
+/// # Panics
+///
+/// Panics on malformed scripts (releasing a lock not held, acquiring a
+/// lock already held by the same thread).
+pub fn simulate(plans: &[ThreadPlan]) -> SimResult {
+    let n = plans.len();
+    let mut pc = vec![0usize; n];
+    let mut locks: HashMap<u64, Lock> = HashMap::new();
+    // Ready queue of (time, tid): thread `tid` may execute its next event
+    // at `time`.
+    let mut ready: BinaryHeap<Reverse<(Time, usize)>> = (0..n).map(|t| Reverse((0, t))).collect();
+    let mut finish = vec![0u64; n];
+
+    // One event per dequeue: a thread must never run ahead in virtual
+    // time past instants at which other threads could interact with the
+    // same locks (the heap keeps global virtual-time order).
+    while let Some(Reverse((now, t))) = ready.pop() {
+        let Some(ev) = plans[t].events.get(pc[t]) else {
+            finish[t] = now;
+            continue;
+        };
+        match *ev {
+            SimEvent::Work(d) => {
+                pc[t] += 1;
+                ready.push(Reverse((now + d, t)));
+            }
+            SimEvent::Release(l) => {
+                let lock = locks.entry(l).or_default();
+                assert_eq!(lock.holder, Some(t), "thread {t} released unheld lock {l}");
+                pc[t] += 1;
+                if let Some(w) = lock.waiters.pop_front() {
+                    lock.holder = Some(w);
+                    // The waiter resumes past its Acquire at `now`.
+                    pc[w] += 1;
+                    ready.push(Reverse((now, w)));
+                } else {
+                    lock.holder = None;
+                }
+                ready.push(Reverse((now, t)));
+            }
+            SimEvent::Acquire(l) => {
+                let lock = locks.entry(l).or_default();
+                match lock.holder {
+                    None => {
+                        lock.holder = Some(t);
+                        pc[t] += 1;
+                        ready.push(Reverse((now, t)));
+                    }
+                    Some(h) => {
+                        assert_ne!(h, t, "thread {t} re-acquired lock {l}");
+                        // Suspended; resumed by the releaser.
+                        lock.waiters.push_back(t);
+                    }
+                }
+            }
+        }
+    }
+
+    for (l, lock) in &locks {
+        assert!(
+            lock.waiters.is_empty(),
+            "deadlock: lock {l} still has waiters {:?} (holder {:?})",
+            lock.waiters,
+            lock.holder
+        );
+    }
+    SimResult {
+        makespan: finish.iter().copied().max().unwrap_or(0),
+        ops: plans.iter().map(|p| p.ops).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SimEvent::{Acquire, Release, Work};
+
+    fn plan(events: Vec<SimEvent>, ops: u64) -> ThreadPlan {
+        ThreadPlan { events, ops }
+    }
+
+    #[test]
+    fn independent_threads_run_in_parallel() {
+        let plans = vec![
+            plan(vec![Work(100)], 1),
+            plan(vec![Work(100)], 1),
+            plan(vec![Work(100)], 1),
+        ];
+        let r = simulate(&plans);
+        assert_eq!(r.makespan, 100, "parallel, not 300");
+        assert_eq!(r.ops, 3);
+    }
+
+    #[test]
+    fn one_lock_serializes() {
+        let script = vec![Acquire(1), Work(100), Release(1)];
+        let plans = vec![
+            plan(script.clone(), 1),
+            plan(script.clone(), 1),
+            plan(script, 1),
+        ];
+        let r = simulate(&plans);
+        assert_eq!(r.makespan, 300, "fully serialized");
+    }
+
+    #[test]
+    fn amdahl_mixed_workload() {
+        // 100ns parallel + 100ns under a global lock, two threads:
+        // thread A: [0,100) work, [100,200) lock.
+        // thread B: [0,100) work, waits, [200,300) lock.
+        let script = vec![Work(100), Acquire(9), Work(100), Release(9)];
+        let r = simulate(&[plan(script.clone(), 1), plan(script, 1)]);
+        assert_eq!(r.makespan, 300);
+    }
+
+    #[test]
+    fn fifo_ordering_is_fair() {
+        // Three contenders queue up; each holds for 10.
+        let script = vec![Acquire(5), Work(10), Release(5), Work(1)];
+        let r = simulate(&[
+            plan(script.clone(), 1),
+            plan(script.clone(), 1),
+            plan(script, 1),
+        ]);
+        // Serialized holds: 30; last finisher does +1 work after.
+        assert_eq!(r.makespan, 31);
+    }
+
+    #[test]
+    fn hand_over_hand_pipeline() {
+        // Two threads lock-couple A then B; the second starts on A as
+        // soon as the first moves to B.
+        let script = vec![
+            Acquire(1),
+            Work(10),
+            Acquire(2),
+            Release(1),
+            Work(10),
+            Release(2),
+        ];
+        let r = simulate(&[plan(script.clone(), 1), plan(script, 1)]);
+        // T0: A[0,10) then B[10,20). T1: A[10,20) then B[20,30).
+        assert_eq!(r.makespan, 30);
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let r = simulate(&[plan(vec![Work(1_000_000_000)], 5)]);
+        assert!((r.throughput() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "released unheld lock")]
+    fn bad_release_panics() {
+        simulate(&[plan(vec![Release(1)], 0)]);
+    }
+
+    #[test]
+    fn empty_simulation() {
+        let r = simulate(&[]);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.ops, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Discrete-event lock-contention simulation.
+//!
+//! The paper's Figure 11 measures multicore scalability on a 16-core
+//! Xeon. When the reproduction host lacks real cores (this workspace is
+//! routinely built on single-core machines), wall-clock threading cannot
+//! exhibit speedup, so the scalability experiment runs on *virtual time*
+//! instead: each worker thread becomes a script of `Acquire` / `Release`
+//! / `Work` events, and a discrete-event engine executes the scripts on
+//! an ideal N-core machine where blocked threads wait in FIFO lock
+//! queues. Speedup is then a property of the locking discipline and the
+//! work distribution — exactly what Figure 11 studies — rather than of
+//! the host.
+//!
+//! Crucially the scripts are not invented: [`script`] converts the event
+//! trace of the *real instrumented AtomFS* (which inode locks each
+//! operation takes, in which order, around which mutations) into
+//! simulator scripts, so lock-coupling's actual footprint — including the
+//! root-lock hot spot that ultimately limits AtomFS's scaling (§7.3) —
+//! drives the simulation. The big-lock variant wraps the same scripts in
+//! one global lock, and deployment costs (FUSE round trip, in-kernel
+//! syscall, VFS-side lookup work) appear as lock-free `Work` segments.
+
+pub mod engine;
+pub mod script;
+
+pub use engine::{simulate, SimEvent, SimResult, ThreadPlan, Time};
+pub use script::{plan_from_scripts, scripts_from_trace, CostModel, OpScript, ScriptConverter};

@@ -1,0 +1,115 @@
+//! Property tests for the discrete-event engine.
+//!
+//! For any well-formed set of scripts:
+//!
+//! * **lower bound** — the makespan is at least the longest single
+//!   thread's serial time (a thread cannot finish early);
+//! * **upper bound** — the makespan never exceeds the sum of all serial
+//!   times (the engine never invents extra waiting beyond full
+//!   serialization);
+//! * **determinism** — simulating twice gives identical results.
+//!
+//! Notably *absent*: "adding a thread never shortens the makespan".
+//! That property is false for FIFO lock queues — a classic scheduling
+//! anomaly (cf. Graham's anomalies): an extra contender can reorder the
+//! acquisition sequence of existing threads and finish the critical path
+//! earlier. Proptest found a counterexample within its first few cases.
+
+use atomfs_locksim::{simulate, SimEvent, ThreadPlan};
+use proptest::prelude::*;
+
+/// Generate one well-formed script: lock sections are properly nested
+/// per thread and every acquire has a release.
+fn script_strategy() -> impl Strategy<Value = Vec<SimEvent>> {
+    // A sequence of (lock_id, work_in, work_out) sections over few locks,
+    // so cross-thread contention actually occurs.
+    proptest::collection::vec((0u64..4, 1u64..50, 0u64..30), 0..12).prop_map(|sections| {
+        let mut ev = Vec::new();
+        for (lock, inside, outside) in sections {
+            ev.push(SimEvent::Work(outside));
+            ev.push(SimEvent::Acquire(lock));
+            ev.push(SimEvent::Work(inside));
+            ev.push(SimEvent::Release(lock));
+        }
+        ev.push(SimEvent::Work(1));
+        ev
+    })
+}
+
+fn serial_time(plan: &ThreadPlan) -> u64 {
+    plan.events
+        .iter()
+        .map(|e| match e {
+            SimEvent::Work(d) => *d,
+            _ => 0,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn makespan_bounds(scripts in proptest::collection::vec(script_strategy(), 1..6)) {
+        let plans: Vec<ThreadPlan> = scripts
+            .into_iter()
+            .map(|events| ThreadPlan { events, ops: 1 })
+            .collect();
+        let serials: Vec<u64> = plans.iter().map(serial_time).collect();
+        let r = simulate(&plans);
+        let max = *serials.iter().max().unwrap();
+        let sum: u64 = serials.iter().sum();
+        prop_assert!(r.makespan >= max, "makespan {} < max serial {}", r.makespan, max);
+        prop_assert!(r.makespan <= sum, "makespan {} > sum of serials {}", r.makespan, sum);
+        prop_assert_eq!(r.ops, plans.len() as u64);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(scripts in proptest::collection::vec(script_strategy(), 1..6)) {
+        let plans: Vec<ThreadPlan> = scripts
+            .into_iter()
+            .map(|events| ThreadPlan { events, ops: 1 })
+            .collect();
+        let a = simulate(&plans);
+        let b = simulate(&plans);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn lock_free_scripts_are_embarrassingly_parallel(
+        works in proptest::collection::vec(
+            proptest::collection::vec(1u64..100, 1..8), 1..6
+        )
+    ) {
+        let plans: Vec<ThreadPlan> = works
+            .into_iter()
+            .map(|w| ThreadPlan {
+                events: w.into_iter().map(SimEvent::Work).collect(),
+                ops: 1,
+            })
+            .collect();
+        let serials: Vec<u64> = plans.iter().map(serial_time).collect();
+        let r = simulate(&plans);
+        prop_assert_eq!(r.makespan, *serials.iter().max().unwrap());
+    }
+
+    #[test]
+    fn single_global_lock_fully_serializes(
+        insides in proptest::collection::vec(1u64..100, 1..6)
+    ) {
+        let plans: Vec<ThreadPlan> = insides
+            .iter()
+            .map(|&d| ThreadPlan {
+                events: vec![
+                    SimEvent::Acquire(0),
+                    SimEvent::Work(d),
+                    SimEvent::Release(0),
+                ],
+                ops: 1,
+            })
+            .collect();
+        let r = simulate(&plans);
+        prop_assert_eq!(r.makespan, insides.iter().sum::<u64>());
+    }
+}

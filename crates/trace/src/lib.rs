@@ -1,0 +1,43 @@
+//! Instrumentation vocabulary shared by AtomFS (the emitter) and CRL-H
+//! (the consumer).
+//!
+//! The executable CRL-H checker replays a totally-ordered trace of the
+//! *atomic instrumentation points* of a concurrent execution:
+//!
+//! * [`Event::OpBegin`] / [`Event::OpEnd`] — invocation and response of a
+//!   file system operation, carrying its abstract description ([`OpDesc`])
+//!   and concrete result ([`OpRet`]);
+//! * [`Event::Lock`] / [`Event::Unlock`] — per-inode lock transitions,
+//!   from which the checker maintains each thread's `LockPath` ghost state;
+//! * [`Event::Mutate`] — inode-granularity concrete mutations
+//!   ([`MicroOp`]), from which the checker maintains a shadow concrete
+//!   file system;
+//! * [`Event::Lp`] — the operation's linearization point, at which the
+//!   checker steps the abstract file system (running the `linothers`
+//!   helper first when the operation is a `rename`).
+//!
+//! Events are pushed through a [`TraceSink`]. The emitting file system
+//! calls the sink *while holding the locks that make the step atomic*
+//! (lock events are emitted after acquiring / before releasing), so the
+//! order in which events reach a serializing sink is a legal total order
+//! of the execution's atomic steps.
+
+pub mod event;
+pub mod gate;
+pub mod micro;
+pub mod op;
+pub mod sink;
+pub mod tid;
+
+pub use event::{Event, PathTag};
+pub use gate::{GateId, GateSink};
+pub use micro::MicroOp;
+pub use op::{OpDesc, OpRet, StatRet, Tid};
+pub use sink::{BufferSink, FanoutSink, NullSink, TraceSink};
+pub use tid::{current_tid, set_current_tid};
+
+/// Inode numbers, shared between the concrete systems and the checker.
+pub type Inum = u64;
+
+/// The root inode number used by every file system in this workspace.
+pub const ROOT_INUM: Inum = 1;

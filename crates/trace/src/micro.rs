@@ -1,0 +1,195 @@
+//! Inode-granularity micro-operations.
+//!
+//! The paper's roll-back mechanism (§4.4, §5.3) records a helped
+//! operation's `Effect` as a list of micro-operations at inode granularity
+//! — e.g. `INS` has effect `(OPins:(pinum,name,cinum), OPcreat:cinum)` —
+//! so the abstraction relation can roll abstract inodes back to their
+//! concrete-time content. This module defines those micro-operations.
+//!
+//! The same vocabulary describes the *concrete* mutations AtomFS performs
+//! inside its critical sections ([`crate::Event::Mutate`] events), which is
+//! what lets the checker maintain a shadow concrete file system and close
+//! the simulation loop: concrete mutations move the shadow state forward,
+//! helping moves the abstract state forward early, and roll-back reconciles
+//! the two.
+//!
+//! Each micro-op carries enough information to be applied *and* inverted
+//! (`OPdel` remembers the deleted child, file updates remember the old
+//! bytes), because rolling back applies inverses in reverse `Helplist`
+//! order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Inum;
+use atomfs_vfs::FileType;
+
+/// One inode-granularity mutation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// `OPcreat`: allocate inode `ino` with type `ftype` (empty contents).
+    Create { ino: Inum, ftype: FileType },
+    /// Inverse of `OPcreat`: free inode `ino`. Used when `unlink`/`rmdir`
+    /// release an inode, or when rolling back a creation.
+    Remove { ino: Inum, ftype: FileType },
+    /// `OPins`: insert link `name -> child` into directory `parent`.
+    Ins {
+        parent: Inum,
+        name: String,
+        child: Inum,
+    },
+    /// `OPdel`: remove link `name -> child` from directory `parent`.
+    Del {
+        parent: Inum,
+        name: String,
+        child: Inum,
+    },
+    /// Replace the contents of file `ino` (covers write and truncate).
+    /// Old contents are retained so the op can be inverted by roll-back.
+    SetData {
+        ino: Inum,
+        old: Vec<u8>,
+        new: Vec<u8>,
+    },
+}
+
+impl MicroOp {
+    /// The inode this micro-op modifies (the *parent* for link changes —
+    /// link micro-ops mutate the directory inode's content).
+    pub fn target(&self) -> Inum {
+        match self {
+            MicroOp::Create { ino, .. }
+            | MicroOp::Remove { ino, .. }
+            | MicroOp::SetData { ino, .. } => *ino,
+            MicroOp::Ins { parent, .. } | MicroOp::Del { parent, .. } => *parent,
+        }
+    }
+
+    /// All inodes mentioned by this micro-op (used by effect search).
+    pub fn touched(&self) -> Vec<Inum> {
+        match self {
+            MicroOp::Create { ino, .. }
+            | MicroOp::Remove { ino, .. }
+            | MicroOp::SetData { ino, .. } => vec![*ino],
+            MicroOp::Ins { parent, child, .. } | MicroOp::Del { parent, child, .. } => {
+                vec![*parent, *child]
+            }
+        }
+    }
+
+    /// The inverse micro-op, applied during roll-back.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atomfs_trace::MicroOp;
+    /// use atomfs_vfs::FileType;
+    /// let ins = MicroOp::Ins { parent: 1, name: "a".into(), child: 2 };
+    /// let del = MicroOp::Del { parent: 1, name: "a".into(), child: 2 };
+    /// assert_eq!(ins.inverse(), del);
+    /// assert_eq!(del.inverse(), ins);
+    /// let cr = MicroOp::Create { ino: 3, ftype: FileType::File };
+    /// assert_eq!(cr.inverse().inverse(), cr);
+    /// ```
+    pub fn inverse(&self) -> MicroOp {
+        match self {
+            MicroOp::Create { ino, ftype } => MicroOp::Remove {
+                ino: *ino,
+                ftype: *ftype,
+            },
+            MicroOp::Remove { ino, ftype } => MicroOp::Create {
+                ino: *ino,
+                ftype: *ftype,
+            },
+            MicroOp::Ins {
+                parent,
+                name,
+                child,
+            } => MicroOp::Del {
+                parent: *parent,
+                name: name.clone(),
+                child: *child,
+            },
+            MicroOp::Del {
+                parent,
+                name,
+                child,
+            } => MicroOp::Ins {
+                parent: *parent,
+                name: name.clone(),
+                child: *child,
+            },
+            MicroOp::SetData { ino, old, new } => MicroOp::SetData {
+                ino: *ino,
+                old: new.clone(),
+                new: old.clone(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MicroOp::Create { ino, ftype } => write!(f, "OPcreat({ino}, {ftype:?})"),
+            MicroOp::Remove { ino, .. } => write!(f, "OPremove({ino})"),
+            MicroOp::Ins {
+                parent,
+                name,
+                child,
+            } => write!(f, "OPins({parent}, {name}, {child})"),
+            MicroOp::Del {
+                parent,
+                name,
+                child,
+            } => write!(f, "OPdel({parent}, {name}, {child})"),
+            MicroOp::SetData { ino, old, new } => {
+                write!(f, "OPsetdata({ino}, {} -> {} bytes)", old.len(), new.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_an_involution() {
+        let ops = [
+            MicroOp::Create {
+                ino: 5,
+                ftype: FileType::Dir,
+            },
+            MicroOp::Ins {
+                parent: 1,
+                name: "x".into(),
+                child: 5,
+            },
+            MicroOp::SetData {
+                ino: 5,
+                old: b"old".to_vec(),
+                new: b"new!".to_vec(),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(&op.inverse().inverse(), op);
+        }
+    }
+
+    #[test]
+    fn target_is_mutated_inode() {
+        let ins = MicroOp::Ins {
+            parent: 1,
+            name: "x".into(),
+            child: 9,
+        };
+        assert_eq!(ins.target(), 1);
+        assert_eq!(ins.touched(), vec![1, 9]);
+        let sd = MicroOp::SetData {
+            ino: 4,
+            old: vec![],
+            new: vec![1],
+        };
+        assert_eq!(sd.target(), 4);
+    }
+}

@@ -1,0 +1,62 @@
+//! Logical thread identities.
+//!
+//! The CRL-H ghost thread pool is keyed by thread IDs. Instrumented file
+//! systems discover the current logical thread through this module: tests
+//! pin specific IDs with [`set_current_tid`] so traces match scripted
+//! scenarios; otherwise a fresh ID is assigned per OS thread on first use.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::Tid;
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static CURRENT: Cell<Option<Tid>> = const { Cell::new(None) };
+}
+
+/// The calling thread's logical ID, assigning a fresh one on first use.
+pub fn current_tid() -> Tid {
+    CURRENT.with(|c| match c.get() {
+        Some(t) => t,
+        None => {
+            let t = Tid(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+            c.set(Some(t));
+            t
+        }
+    })
+}
+
+/// Pin the calling thread's logical ID (used by scripted scenario tests).
+pub fn set_current_tid(tid: Tid) {
+    CURRENT.with(|c| c.set(Some(tid)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_per_thread() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let handle = std::thread::spawn(|| {
+            set_current_tid(Tid(777));
+            current_tid()
+        });
+        assert_eq!(handle.join().unwrap(), Tid(777));
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_ids() {
+        let a = std::thread::spawn(current_tid).join().unwrap();
+        let b = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

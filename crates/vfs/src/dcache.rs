@@ -1,0 +1,379 @@
+//! A concurrent dentry/attribute cache.
+//!
+//! The paper observes (§6, limitations; §7.3) that Linux VFS performs path
+//! lookups and serves some read-only operations from its caches before a
+//! request ever reaches the file system, which is why even the big-lock
+//! variant of AtomFS still scales for a while, and why the in-kernel ext4
+//! is much faster in absolute terms. [`DcacheFs`] reproduces that layer: a
+//! sharded, read-mostly cache of `stat` and `readdir` results in front of
+//! any [`FileSystem`], with prefix invalidation on mutations.
+//!
+//! Exactly as the paper notes for VFS, the cache is *not* part of the
+//! verified/linearizable core: a hit is linearized at the cache read, and
+//! staleness is bounded by a global version check rather than proved
+//! impossible. The `ext4-sim` baseline and the big-lock scalability
+//! experiment use this wrapper; correctness-critical tests never do.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::FsResult;
+use crate::fs::{FileSystem, Metadata};
+use crate::path;
+
+const SHARDS: usize = 64;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    meta: Option<Metadata>,
+    listing: Option<Vec<String>>,
+    /// Global mutation version at fill time; entries from before the latest
+    /// relevant mutation are discarded on lookup.
+    version: u64,
+}
+
+/// Cache hit/miss counters, readable for benchmark reports.
+#[derive(Debug, Default)]
+pub struct DcacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl DcacheStats {
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    /// Number of invalidation sweeps so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`FileSystem`] wrapper caching `stat`/`readdir` results.
+pub struct DcacheFs<F> {
+    inner: F,
+    name: &'static str,
+    shards: Vec<RwLock<HashMap<String, Entry>>>,
+    /// Bumped by every mutation; guards against caching pre-mutation data.
+    version: AtomicU64,
+    stats: DcacheStats,
+}
+
+impl<F: FileSystem> DcacheFs<F> {
+    /// Wrap `inner` with a fresh empty cache.
+    pub fn new(name: &'static str, inner: F) -> Self {
+        DcacheFs {
+            inner,
+            name,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            version: AtomicU64::new(0),
+            stats: DcacheStats::default(),
+        }
+    }
+
+    /// The wrapped file system.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> &DcacheStats {
+        &self.stats
+    }
+
+    fn shard_of(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn canonical(path_str: &str) -> String {
+        match path::normalize(path_str) {
+            Ok(comps) => path::to_string(&comps),
+            Err(_) => path_str.to_string(),
+        }
+    }
+
+    fn lookup_meta(&self, key: &str) -> Option<Metadata> {
+        let now = self.version.load(Ordering::Acquire);
+        let shard = self.shard_of(key).read();
+        let e = shard.get(key)?;
+        if e.version == now {
+            e.meta
+        } else {
+            None
+        }
+    }
+
+    fn lookup_listing(&self, key: &str) -> Option<Vec<String>> {
+        let now = self.version.load(Ordering::Acquire);
+        let shard = self.shard_of(key).read();
+        let e = shard.get(key)?;
+        if e.version == now {
+            e.listing.clone()
+        } else {
+            None
+        }
+    }
+
+    fn fill(&self, key: &str, meta: Option<Metadata>, listing: Option<Vec<String>>, ver: u64) {
+        // Only cache if no mutation happened while we queried the backing FS.
+        if self.version.load(Ordering::Acquire) != ver {
+            return;
+        }
+        let mut shard = self.shard_of(key).write();
+        let e = shard.entry(key.to_string()).or_insert(Entry {
+            meta: None,
+            listing: None,
+            version: ver,
+        });
+        if e.version != ver {
+            e.meta = None;
+            e.listing = None;
+            e.version = ver;
+        }
+        if meta.is_some() {
+            e.meta = meta;
+        }
+        if listing.is_some() {
+            e.listing = listing;
+        }
+    }
+
+    /// Drop every cached entry and bump the version.
+    ///
+    /// Mutations are expected to be rare relative to lookups in the
+    /// workloads that use the dcache (exactly the regime where the real VFS
+    /// dcache helps); a full sweep keeps the implementation obviously
+    /// correct. Entries are invalidated lazily by version, so this only
+    /// bumps a counter.
+    fn invalidate_all(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<F: FileSystem> FileSystem for DcacheFs<F> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn mknod(&self, p: &str) -> FsResult<()> {
+        let r = self.inner.mknod(p);
+        if r.is_ok() {
+            self.invalidate_all();
+        }
+        r
+    }
+    fn mkdir(&self, p: &str) -> FsResult<()> {
+        let r = self.inner.mkdir(p);
+        if r.is_ok() {
+            self.invalidate_all();
+        }
+        r
+    }
+    fn unlink(&self, p: &str) -> FsResult<()> {
+        let r = self.inner.unlink(p);
+        if r.is_ok() {
+            self.invalidate_all();
+        }
+        r
+    }
+    fn rmdir(&self, p: &str) -> FsResult<()> {
+        let r = self.inner.rmdir(p);
+        if r.is_ok() {
+            self.invalidate_all();
+        }
+        r
+    }
+    fn rename(&self, s: &str, d: &str) -> FsResult<()> {
+        let r = self.inner.rename(s, d);
+        if r.is_ok() {
+            self.invalidate_all();
+        }
+        r
+    }
+    fn stat(&self, p: &str) -> FsResult<Metadata> {
+        let key = Self::canonical(p);
+        if let Some(meta) = self.lookup_meta(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(meta);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let ver = self.version.load(Ordering::Acquire);
+        let meta = self.inner.stat(p)?;
+        self.fill(&key, Some(meta), None, ver);
+        Ok(meta)
+    }
+    fn readdir(&self, p: &str) -> FsResult<Vec<String>> {
+        let key = Self::canonical(p);
+        if let Some(list) = self.lookup_listing(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(list);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let ver = self.version.load(Ordering::Acquire);
+        let list = self.inner.readdir(p)?;
+        self.fill(&key, None, Some(list.clone()), ver);
+        Ok(list)
+    }
+    fn read(&self, p: &str, off: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.inner.read(p, off, buf)
+    }
+    fn write(&self, p: &str, off: u64, data: &[u8]) -> FsResult<usize> {
+        let r = self.inner.write(p, off, data);
+        if r.is_ok() {
+            // Size may have changed; invalidate attribute caches.
+            self.invalidate_all();
+        }
+        r
+    }
+    fn truncate(&self, p: &str, size: u64) -> FsResult<()> {
+        let r = self.inner.truncate(p, size);
+        if r.is_ok() {
+            self.invalidate_all();
+        }
+        r
+    }
+    fn sync(&self) -> FsResult<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FsError;
+    use parking_lot::Mutex;
+    use std::collections::HashMap as Map;
+
+    /// Flat FS counting backing-store stats, to observe cache behaviour.
+    struct CountingFs {
+        files: Mutex<Map<String, Vec<u8>>>,
+        stats_served: AtomicU64,
+    }
+
+    impl CountingFs {
+        fn new() -> Self {
+            CountingFs {
+                files: Mutex::new(Map::new()),
+                stats_served: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl FileSystem for CountingFs {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn mknod(&self, p: &str) -> FsResult<()> {
+            self.files.lock().insert(p.into(), vec![]);
+            Ok(())
+        }
+        fn mkdir(&self, _: &str) -> FsResult<()> {
+            Ok(())
+        }
+        fn unlink(&self, p: &str) -> FsResult<()> {
+            self.files
+                .lock()
+                .remove(p)
+                .map(|_| ())
+                .ok_or(FsError::NotFound)
+        }
+        fn rmdir(&self, _: &str) -> FsResult<()> {
+            Ok(())
+        }
+        fn rename(&self, s: &str, d: &str) -> FsResult<()> {
+            let mut f = self.files.lock();
+            let v = f.remove(s).ok_or(FsError::NotFound)?;
+            f.insert(d.into(), v);
+            Ok(())
+        }
+        fn stat(&self, p: &str) -> FsResult<Metadata> {
+            self.stats_served.fetch_add(1, Ordering::Relaxed);
+            let f = self.files.lock();
+            let d = f.get(p).ok_or(FsError::NotFound)?;
+            Ok(Metadata::file(1, d.len() as u64))
+        }
+        fn readdir(&self, _: &str) -> FsResult<Vec<String>> {
+            Ok(self.files.lock().keys().cloned().collect())
+        }
+        fn read(&self, _: &str, _: u64, _: &mut [u8]) -> FsResult<usize> {
+            Ok(0)
+        }
+        fn write(&self, p: &str, off: u64, data: &[u8]) -> FsResult<usize> {
+            let mut f = self.files.lock();
+            let file = f.get_mut(p).ok_or(FsError::NotFound)?;
+            let end = off as usize + data.len();
+            if file.len() < end {
+                file.resize(end, 0);
+            }
+            file[off as usize..end].copy_from_slice(data);
+            Ok(data.len())
+        }
+        fn truncate(&self, p: &str, size: u64) -> FsResult<()> {
+            let mut f = self.files.lock();
+            let file = f.get_mut(p).ok_or(FsError::NotFound)?;
+            file.resize(size as usize, 0);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn repeated_stat_is_served_from_cache() {
+        let fs = DcacheFs::new("dc", CountingFs::new());
+        fs.mknod("/f").unwrap();
+        fs.stat("/f").unwrap();
+        fs.stat("/f").unwrap();
+        fs.stat("/f").unwrap();
+        assert_eq!(fs.inner().stats_served.load(Ordering::Relaxed), 1);
+        assert_eq!(fs.stats().hits(), 2);
+    }
+
+    #[test]
+    fn write_invalidates_attributes() {
+        let fs = DcacheFs::new("dc", CountingFs::new());
+        fs.mknod("/f").unwrap();
+        assert_eq!(fs.stat("/f").unwrap().size, 0);
+        fs.write("/f", 0, b"1234").unwrap();
+        assert_eq!(fs.stat("/f").unwrap().size, 4);
+    }
+
+    #[test]
+    fn rename_invalidates_old_and_new() {
+        let fs = DcacheFs::new("dc", CountingFs::new());
+        fs.mknod("/a").unwrap();
+        fs.stat("/a").unwrap();
+        fs.rename("/a", "/b").unwrap();
+        assert_eq!(fs.stat("/a"), Err(FsError::NotFound));
+        assert!(fs.stat("/b").is_ok());
+    }
+
+    #[test]
+    fn unlink_invalidates() {
+        let fs = DcacheFs::new("dc", CountingFs::new());
+        fs.mknod("/a").unwrap();
+        fs.stat("/a").unwrap();
+        fs.unlink("/a").unwrap();
+        assert_eq!(fs.stat("/a"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn canonicalization_shares_entries() {
+        let fs = DcacheFs::new("dc", CountingFs::new());
+        fs.mknod("/f").unwrap();
+        fs.stat("/f").unwrap();
+        // The backing flat FS only knows "/f", so a hit on the canonical key
+        // proves "/./f" was canonicalized rather than forwarded.
+        assert!(fs.stat("/./f").is_ok());
+        assert_eq!(fs.stats().hits(), 1);
+    }
+}

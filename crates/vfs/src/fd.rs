@@ -1,0 +1,479 @@
+//! FUSE-style file descriptor table.
+//!
+//! The paper's AtomFS does not track open files itself: the high-level FUSE
+//! API hands it a *path* for every call, and VFS/FUSE maintain the mapping
+//! from file descriptors to paths (§5.4). This module reproduces that
+//! layer: [`FdTable`] maps descriptors to paths plus a cursor, and each
+//! descriptor-based call is translated into a path-based [`FileSystem`]
+//! call, which is exactly why every FD-based operation in AtomFS re-walks
+//! the path and stays linearizable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{FsError, FsResult};
+use crate::fs::{FileSystem, FileType};
+
+/// A file descriptor handed out by [`FdTable::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+/// Options controlling [`FdTable::open`], modelled on `open(2)` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenOptions {
+    /// Allow `read_at`/`read` on the descriptor (`O_RDONLY`/`O_RDWR`).
+    pub read: bool,
+    /// Allow `write_at`/`write` on the descriptor (`O_WRONLY`/`O_RDWR`).
+    pub write: bool,
+    /// Create the file if it does not exist (`O_CREAT`).
+    pub create: bool,
+    /// Truncate to zero length on open (`O_TRUNC`).
+    pub truncate: bool,
+    /// Position sequential writes at end of file (`O_APPEND`).
+    pub append: bool,
+}
+
+impl OpenOptions {
+    /// Read-only open.
+    pub fn read_only() -> Self {
+        OpenOptions {
+            read: true,
+            write: false,
+            create: false,
+            truncate: false,
+            append: false,
+        }
+    }
+
+    /// Read-write open, creating the file if missing.
+    pub fn read_write() -> Self {
+        OpenOptions {
+            read: true,
+            write: true,
+            create: true,
+            truncate: false,
+            append: false,
+        }
+    }
+
+    /// Write-only open that creates and truncates (like `creat(2)`).
+    pub fn create_truncate() -> Self {
+        OpenOptions {
+            read: false,
+            write: true,
+            create: true,
+            truncate: true,
+            append: false,
+        }
+    }
+
+    /// Append-only open, creating the file if missing.
+    pub fn append() -> Self {
+        OpenOptions {
+            read: false,
+            write: true,
+            create: true,
+            truncate: false,
+            append: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenFile {
+    path: String,
+    opts: OpenOptions,
+    /// Cursor for sequential `read`/`write`.
+    offset: u64,
+}
+
+/// A table of open files over a path-based [`FileSystem`].
+///
+/// The table is shared-state concurrent: descriptors can be created, used,
+/// and closed from multiple threads. Note that, exactly as in the paper's
+/// FUSE deployment, an open descriptor does *not* pin the file: a
+/// concurrent `unlink`/`rename` can make subsequent descriptor operations
+/// fail with [`FsError::NotFound`] (the paper relies on FUSE's temporary
+/// files for unlinked-but-open semantics and lists FUSE in its TCB).
+pub struct FdTable<F> {
+    fs: Arc<F>,
+    inner: Mutex<FdInner>,
+    /// Serializes append-mode writes: POSIX `O_APPEND` is atomic, but the
+    /// path-based backend exposes only stat+write, so the size read and
+    /// the write must happen under one lock.
+    append_lock: Mutex<()>,
+}
+
+#[derive(Debug, Default)]
+struct FdInner {
+    next: u32,
+    open: HashMap<u32, OpenFile>,
+}
+
+impl<F: FileSystem> FdTable<F> {
+    /// Create an empty descriptor table over `fs`.
+    pub fn new(fs: Arc<F>) -> Self {
+        FdTable {
+            fs,
+            inner: Mutex::new(FdInner::default()),
+            append_lock: Mutex::new(()),
+        }
+    }
+
+    /// The underlying file system.
+    pub fn fs(&self) -> &Arc<F> {
+        &self.fs
+    }
+
+    /// Number of currently open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.inner.lock().open.len()
+    }
+
+    /// Open `path` with `opts`, returning a new descriptor.
+    pub fn open(&self, path: &str, opts: OpenOptions) -> FsResult<Fd> {
+        match self.fs.stat(path) {
+            Ok(meta) => {
+                if meta.ftype == FileType::Dir && (opts.write || opts.truncate) {
+                    return Err(FsError::IsDir);
+                }
+                if opts.truncate {
+                    self.fs.truncate(path, 0)?;
+                }
+            }
+            Err(FsError::NotFound) if opts.create => {
+                // Racing creators are fine: Exists means someone else won.
+                match self.fs.mknod(path) {
+                    Ok(()) | Err(FsError::Exists) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        let mut inner = self.inner.lock();
+        let fd = inner.next;
+        inner.next += 1;
+        inner.open.insert(
+            fd,
+            OpenFile {
+                path: path.to_string(),
+                opts,
+                offset: 0,
+            },
+        );
+        Ok(Fd(fd))
+    }
+
+    /// Close a descriptor. Closing twice returns [`FsError::BadFd`].
+    pub fn close(&self, fd: Fd) -> FsResult<()> {
+        match self.inner.lock().open.remove(&fd.0) {
+            Some(_) => Ok(()),
+            None => Err(FsError::BadFd),
+        }
+    }
+
+    /// The path a descriptor currently resolves to.
+    pub fn path_of(&self, fd: Fd) -> FsResult<String> {
+        let inner = self.inner.lock();
+        inner
+            .open
+            .get(&fd.0)
+            .map(|f| f.path.clone())
+            .ok_or(FsError::BadFd)
+    }
+
+    /// Positional read (`pread`).
+    pub fn read_at(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let path = {
+            let inner = self.inner.lock();
+            let f = inner.open.get(&fd.0).ok_or(FsError::BadFd)?;
+            if !f.opts.read {
+                return Err(FsError::PermissionDenied);
+            }
+            f.path.clone()
+        };
+        self.fs.read(&path, offset, buf)
+    }
+
+    /// Positional write (`pwrite`).
+    pub fn write_at(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let path = {
+            let inner = self.inner.lock();
+            let f = inner.open.get(&fd.0).ok_or(FsError::BadFd)?;
+            if !f.opts.write {
+                return Err(FsError::PermissionDenied);
+            }
+            f.path.clone()
+        };
+        self.fs.write(&path, offset, data)
+    }
+
+    /// Sequential read advancing the descriptor cursor.
+    pub fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        let (path, off) = {
+            let inner = self.inner.lock();
+            let f = inner.open.get(&fd.0).ok_or(FsError::BadFd)?;
+            if !f.opts.read {
+                return Err(FsError::PermissionDenied);
+            }
+            (f.path.clone(), f.offset)
+        };
+        let n = self.fs.read(&path, off, buf)?;
+        if let Some(f) = self.inner.lock().open.get_mut(&fd.0) {
+            f.offset = off + n as u64;
+        }
+        Ok(n)
+    }
+
+    /// Sequential write advancing the cursor; honours `O_APPEND`.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        let (path, off, append) = {
+            let inner = self.inner.lock();
+            let f = inner.open.get(&fd.0).ok_or(FsError::BadFd)?;
+            if !f.opts.write {
+                return Err(FsError::PermissionDenied);
+            }
+            (f.path.clone(), f.offset, f.opts.append)
+        };
+        let _append_guard = append.then(|| self.append_lock.lock());
+        let off = if append {
+            self.fs.stat(&path)?.size
+        } else {
+            off
+        };
+        let n = self.fs.write(&path, off, data)?;
+        if let Some(f) = self.inner.lock().open.get_mut(&fd.0) {
+            f.offset = off + n as u64;
+        }
+        Ok(n)
+    }
+
+    /// Reposition the cursor (`lseek` with `SEEK_SET`).
+    pub fn seek(&self, fd: Fd, offset: u64) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let f = inner.open.get_mut(&fd.0).ok_or(FsError::BadFd)?;
+        f.offset = offset;
+        Ok(())
+    }
+
+    /// Directory listing through a descriptor (FUSE passes the path).
+    pub fn readdir(&self, fd: Fd) -> FsResult<Vec<String>> {
+        let path = self.path_of(fd)?;
+        self.fs.readdir(&path)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::error::FsError;
+    use crate::fs::Metadata;
+    use std::collections::HashMap as Map;
+
+    /// A tiny flat in-memory FS good enough to exercise the fd table.
+    pub(crate) struct FlatFs {
+        files: Mutex<Map<String, Vec<u8>>>,
+    }
+
+    impl FlatFs {
+        pub(crate) fn new() -> Self {
+            FlatFs {
+                files: Mutex::new(Map::new()),
+            }
+        }
+    }
+
+    impl FileSystem for FlatFs {
+        fn name(&self) -> &'static str {
+            "flatfs"
+        }
+        fn mknod(&self, path: &str) -> FsResult<()> {
+            let mut fs = self.files.lock();
+            if fs.contains_key(path) {
+                return Err(FsError::Exists);
+            }
+            fs.insert(path.to_string(), Vec::new());
+            Ok(())
+        }
+        fn mkdir(&self, _path: &str) -> FsResult<()> {
+            Err(FsError::Unsupported)
+        }
+        fn unlink(&self, path: &str) -> FsResult<()> {
+            self.files
+                .lock()
+                .remove(path)
+                .map(|_| ())
+                .ok_or(FsError::NotFound)
+        }
+        fn rmdir(&self, _path: &str) -> FsResult<()> {
+            Err(FsError::Unsupported)
+        }
+        fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+            let mut fs = self.files.lock();
+            let data = fs.remove(src).ok_or(FsError::NotFound)?;
+            fs.insert(dst.to_string(), data);
+            Ok(())
+        }
+        fn stat(&self, path: &str) -> FsResult<Metadata> {
+            let fs = self.files.lock();
+            let data = fs.get(path).ok_or(FsError::NotFound)?;
+            Ok(Metadata::file(1, data.len() as u64))
+        }
+        fn readdir(&self, _path: &str) -> FsResult<Vec<String>> {
+            Ok(self.files.lock().keys().cloned().collect())
+        }
+        fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+            let fs = self.files.lock();
+            let data = fs.get(path).ok_or(FsError::NotFound)?;
+            let off = offset as usize;
+            if off >= data.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(data.len() - off);
+            buf[..n].copy_from_slice(&data[off..off + n]);
+            Ok(n)
+        }
+        fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+            let mut fs = self.files.lock();
+            let file = fs.get_mut(path).ok_or(FsError::NotFound)?;
+            let end = offset as usize + data.len();
+            if file.len() < end {
+                file.resize(end, 0);
+            }
+            file[offset as usize..end].copy_from_slice(data);
+            Ok(data.len())
+        }
+        fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+            let mut fs = self.files.lock();
+            let file = fs.get_mut(path).ok_or(FsError::NotFound)?;
+            file.resize(size as usize, 0);
+            Ok(())
+        }
+    }
+
+    fn table() -> FdTable<FlatFs> {
+        FdTable::new(Arc::new(FlatFs::new()))
+    }
+
+    #[test]
+    fn open_create_write_read() {
+        let t = table();
+        let fd = t.open("/f", OpenOptions::read_write()).unwrap();
+        assert_eq!(t.write(fd, b"hello").unwrap(), 5);
+        t.seek(fd, 0).unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(t.read(fd, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        t.close(fd).unwrap();
+        assert_eq!(t.close(fd), Err(FsError::BadFd));
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        let t = table();
+        assert_eq!(
+            t.open("/nope", OpenOptions::read_only()),
+            Err(FsError::NotFound)
+        );
+    }
+
+    #[test]
+    fn append_mode_writes_at_eof() {
+        let t = table();
+        let fd = t.open("/log", OpenOptions::append()).unwrap();
+        t.write(fd, b"aa").unwrap();
+        t.write(fd, b"bb").unwrap();
+        let fd2 = t.open("/log", OpenOptions::read_only()).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(t.read(fd2, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"aabb");
+    }
+
+    #[test]
+    fn truncate_on_open() {
+        let t = table();
+        let fd = t.open("/f", OpenOptions::read_write()).unwrap();
+        t.write(fd, b"0123456789").unwrap();
+        t.close(fd).unwrap();
+        let fd = t.open("/f", OpenOptions::create_truncate()).unwrap();
+        assert_eq!(t.fs().stat("/f").unwrap().size, 0);
+        t.close(fd).unwrap();
+    }
+
+    #[test]
+    fn permission_enforced_by_open_mode() {
+        let t = table();
+        let fd = t.open("/f", OpenOptions::create_truncate()).unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(t.read(fd, &mut buf), Err(FsError::PermissionDenied));
+        let fd2 = t.open("/f", OpenOptions::read_only()).unwrap();
+        assert_eq!(t.write(fd2, b"x"), Err(FsError::PermissionDenied));
+    }
+
+    #[test]
+    fn positional_io_does_not_move_cursor() {
+        let t = table();
+        let fd = t.open("/f", OpenOptions::read_write()).unwrap();
+        t.write_at(fd, 0, b"abcdef").unwrap();
+        let mut buf = [0u8; 2];
+        t.read_at(fd, 2, &mut buf).unwrap();
+        assert_eq!(&buf, b"cd");
+        // Sequential read still starts at 0.
+        let mut buf2 = [0u8; 2];
+        t.read(fd, &mut buf2).unwrap();
+        assert_eq!(&buf2, b"ab");
+    }
+
+    #[test]
+    fn unlink_invalidates_descriptor_operations() {
+        // Mirrors the paper's FUSE caveat: descriptors are path-backed.
+        let t = table();
+        let fd = t.open("/f", OpenOptions::read_write()).unwrap();
+        t.fs().unlink("/f").unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(t.read(fd, &mut buf), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn open_count_tracks() {
+        let t = table();
+        assert_eq!(t.open_count(), 0);
+        let fd = t.open("/a", OpenOptions::read_write()).unwrap();
+        let fd2 = t.open("/a", OpenOptions::read_only()).unwrap();
+        assert_eq!(t.open_count(), 2);
+        t.close(fd).unwrap();
+        t.close(fd2).unwrap();
+        assert_eq!(t.open_count(), 0);
+    }
+}
+#[cfg(test)]
+mod append_atomicity {
+    use super::tests::FlatFs;
+    use super::*;
+
+    #[test]
+    fn concurrent_appends_do_not_overwrite() {
+        let t = Arc::new(FdTable::new(Arc::new(FlatFs::new())));
+        t.fs().mknod("/log").unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let fd = t.open("/log", OpenOptions::append()).unwrap();
+                for _ in 0..50 {
+                    t.write(fd, b"x").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            t.fs().stat("/log").unwrap().size,
+            200,
+            "every appended byte must land at a distinct offset"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! VFS substrate for the AtomFS reproduction.
+//!
+//! This crate plays the role that Linux VFS + FUSE play for the paper's
+//! AtomFS prototype: it defines the path-based [`FileSystem`] interface that
+//! every file system in this workspace implements, errno-style errors,
+//! path normalization, a FUSE-style file-descriptor table that maps file
+//! descriptors back to paths (the paper's AtomFS resolves FD-based calls by
+//! re-traversing the path, §5.4), a per-operation overhead shim used to model
+//! user/kernel crossing costs in the benchmarks, and a dentry cache used by
+//! the `ext4-sim` baseline.
+//!
+//! Nothing in this crate knows about locking strategies or verification;
+//! those live in the `atomfs` and `crlh` crates respectively.
+
+pub mod dcache;
+pub mod error;
+pub mod fd;
+pub mod fs;
+pub mod overhead;
+pub mod path;
+
+pub use error::{FsError, FsResult};
+pub use fd::{Fd, FdTable, OpenOptions};
+pub use fs::{FileSystem, FileType, Metadata};
+pub use path::{join, normalize, parent_and_name, split};

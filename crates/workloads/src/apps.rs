@@ -1,0 +1,219 @@
+//! Synthetic equivalents of the paper's application workloads
+//! (Figure 10): cloning a git repository, compiling xv6, copying a source
+//! tree, and searching it with ripgrep.
+//!
+//! Each generator replays the *file system operation mix* the real
+//! application produces — the working set sizes are modelled on the
+//! workloads the paper names (the xv6-public repository, the qemu source
+//! tree) and shrink with `scale` so tests stay fast while benchmarks use
+//! `scale = 1.0`. All workloads are single-threaded, as in §7.2.
+
+use atomfs_vfs::fs::FileSystemExt;
+use atomfs_vfs::{FileSystem, FsResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(1)
+}
+
+/// Deterministic pseudo-file-content of length `len`.
+fn content(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v[..]);
+    v
+}
+
+/// `git clone xv6-public`: create the working tree (~90 files, a few KB
+/// each) plus the `.git` object store (many small compressed objects),
+/// with the stat/readdir chatter git produces. Returns the op count.
+pub fn git_clone(fs: &dyn FileSystem, root: &str, scale: f64) -> FsResult<u64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut ops = 0u64;
+    fs.mkdir_all(&format!("{root}/repo/.git/objects"))?;
+    fs.mkdir_all(&format!("{root}/repo/.git/refs/heads"))?;
+    ops += 4;
+    // Object store: each source file has roughly one blob + tree objects.
+    let objects = scaled(220, scale);
+    for i in 0..objects {
+        let fanout = format!("{root}/repo/.git/objects/{:02x}", i % 64);
+        fs.mkdir_all(&fanout)?;
+        let path = format!("{fanout}/obj{i:038x}");
+        let len = rng.random_range(200..4000);
+        fs.write_file(&path, &content(&mut rng, len))?;
+        fs.stat(&path)?;
+        ops += 4;
+    }
+    // Working tree checkout: xv6-public is ~90 C/header files.
+    let files = scaled(90, scale);
+    for i in 0..files {
+        let path = format!("{root}/repo/src{i}.c");
+        let len = rng.random_range(1000..8000);
+        fs.write_file(&path, &content(&mut rng, len))?;
+        fs.stat(&path)?;
+        ops += 3;
+    }
+    fs.write_file(
+        &format!("{root}/repo/.git/refs/heads/master"),
+        b"deadbeef\n",
+    )?;
+    fs.readdir(&format!("{root}/repo"))?;
+    Ok(ops + 2)
+}
+
+/// `make xv6`: stat every source, read it, write a `.o`, then link two
+/// images by concatenating the objects. Requires a tree created by
+/// [`git_clone`] under `root`. Returns the op count.
+pub fn make_xv6(fs: &dyn FileSystem, root: &str, scale: f64) -> FsResult<u64> {
+    let mut ops = 0u64;
+    let repo = format!("{root}/repo");
+    let names = fs.readdir(&repo)?;
+    ops += 1;
+    fs.mkdir_all(&format!("{root}/build"))?;
+    let mut objects = Vec::new();
+    for name in names.iter().filter(|n| n.ends_with(".c")) {
+        let src = format!("{repo}/{name}");
+        fs.stat(&src)?;
+        let data = fs.read_to_vec(&src)?;
+        let obj = format!("{root}/build/{name}.o");
+        // "Compilation" roughly doubles the size.
+        let mut out = data.clone();
+        out.extend_from_slice(&data);
+        fs.write_file(&obj, &out)?;
+        objects.push(obj);
+        ops += 4;
+    }
+    // Link step: read all objects, write the kernel image.
+    let mut image = Vec::new();
+    for obj in &objects {
+        image.extend(fs.read_to_vec(obj)?);
+        ops += 1;
+    }
+    let keep = scaled(image.len().max(1), scale.min(1.0));
+    image.truncate(keep);
+    fs.write_file(&format!("{root}/build/kernel.img"), &image)?;
+    Ok(ops + 1)
+}
+
+/// `cp -r` of a source tree (the paper copies qemu's sources): walk the
+/// tree under `src_root`, recreating every directory and file under
+/// `dst_root`. Returns the op count.
+pub fn cp_tree(fs: &dyn FileSystem, src_root: &str, dst_root: &str) -> FsResult<u64> {
+    let mut ops = 0u64;
+    fs.mkdir_all(dst_root)?;
+    let mut stack = vec![(src_root.to_string(), dst_root.to_string())];
+    while let Some((src, dst)) = stack.pop() {
+        for name in fs.readdir(&src)? {
+            let s = atomfs_vfs::path::join(&src, &name);
+            let d = atomfs_vfs::path::join(&dst, &name);
+            let meta = fs.stat(&s)?;
+            ops += 2;
+            if meta.ftype.is_dir() {
+                fs.mkdir(&d)?;
+                ops += 1;
+                stack.push((s, d));
+            } else {
+                let data = fs.read_to_vec(&s)?;
+                fs.write_file(&d, &data)?;
+                ops += 3;
+            }
+        }
+        ops += 1;
+    }
+    Ok(ops)
+}
+
+/// Build the qemu-like source tree that `cp_qemu` copies: a handful of
+/// directories with a few hundred files at scale 1.0.
+pub fn build_source_tree(fs: &dyn FileSystem, root: &str, scale: f64) -> FsResult<u64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ops = 0u64;
+    let dirs = scaled(12, scale.sqrt());
+    let files_per_dir = scaled(25, scale.sqrt());
+    for d in 0..dirs {
+        let dir = format!("{root}/mod{d}");
+        fs.mkdir_all(&dir)?;
+        ops += 1;
+        for f in 0..files_per_dir {
+            let path = format!("{dir}/file{f}.c");
+            let len = rng.random_range(500..6000);
+            fs.write_file(&path, &content(&mut rng, len))?;
+            ops += 2;
+        }
+    }
+    Ok(ops)
+}
+
+/// `rg pattern` over a source tree: recursive readdir, stat and full read
+/// of every file (ripgrep memory-maps; a full read models the page-ins).
+/// Returns the op count; also returns the number of "matches" so the
+/// traversal cannot be optimized away.
+pub fn ripgrep(fs: &dyn FileSystem, root: &str, needle: u8) -> FsResult<(u64, u64)> {
+    let mut ops = 0u64;
+    let mut matches = 0u64;
+    let mut stack = vec![root.to_string()];
+    while let Some(dir) = stack.pop() {
+        for name in fs.readdir(&dir)? {
+            let path = atomfs_vfs::path::join(&dir, &name);
+            let meta = fs.stat(&path)?;
+            ops += 2;
+            if meta.ftype.is_dir() {
+                stack.push(path);
+            } else {
+                let data = fs.read_to_vec(&path)?;
+                matches += data.iter().filter(|&&b| b == needle).count() as u64;
+                ops += 1;
+            }
+        }
+        ops += 1;
+    }
+    Ok((ops, matches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs::AtomFs;
+
+    #[test]
+    fn git_clone_builds_repo() {
+        let fs = AtomFs::new();
+        fs.mkdir("/w").unwrap();
+        let ops = git_clone(&fs, "/w", 0.1).unwrap();
+        assert!(ops > 20);
+        assert!(fs.stat("/w/repo/.git/refs/heads/master").is_ok());
+        assert!(!fs.readdir("/w/repo").unwrap().is_empty());
+    }
+
+    #[test]
+    fn make_follows_clone() {
+        let fs = AtomFs::new();
+        fs.mkdir("/w").unwrap();
+        git_clone(&fs, "/w", 0.1).unwrap();
+        let ops = make_xv6(&fs, "/w", 0.1).unwrap();
+        assert!(ops > 10);
+        assert!(fs.stat("/w/build/kernel.img").unwrap().size > 0);
+    }
+
+    #[test]
+    fn cp_copies_everything() {
+        let fs = AtomFs::new();
+        fs.mkdir("/src").unwrap();
+        build_source_tree(&fs, "/src", 0.1).unwrap();
+        cp_tree(&fs, "/src", "/dst").unwrap();
+        let (_, src_matches) = ripgrep(&fs, "/src", 0x42).unwrap();
+        let (_, dst_matches) = ripgrep(&fs, "/dst", 0x42).unwrap();
+        assert_eq!(src_matches, dst_matches, "copy must be byte-identical");
+    }
+
+    #[test]
+    fn ripgrep_counts_consistently() {
+        let fs = AtomFs::new();
+        fs.mkdir("/t").unwrap();
+        fs.mknod("/t/f").unwrap();
+        fs.write("/t/f", 0, b"zzqzz").unwrap();
+        let (ops, matches) = ripgrep(&fs, "/t", b'z').unwrap();
+        assert_eq!(matches, 4);
+        assert!(ops >= 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Filebench personalities used by the paper's scalability study (§7.3).
+//!
+//! * **Fileserver** — "concurrently handles more different directories
+//!   and files (526 different directories and about 10000 files)": each
+//!   iteration creates a file, writes it, appends, reads a whole file,
+//!   deletes one, and stats — spread over many directories, so
+//!   fine-grained locking pays off.
+//! * **Webproxy** — "involves only two directories": create/write/delete
+//!   plus five whole-file reads per iteration inside a shared directory,
+//!   so per-inode locks on the two hot directories limit the win.
+//!
+//! Both personalities are expressed as a deterministic per-thread
+//! iteration function so the same request stream hits every file system.
+
+use atomfs_vfs::fs::FileSystemExt;
+use atomfs_vfs::{FileSystem, FsError, FsResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Fileserver personality.
+#[derive(Debug, Clone, Copy)]
+pub struct Fileserver {
+    /// Number of directories (the paper's run uses 526).
+    pub dirs: usize,
+    /// Pre-created files (the paper's run uses ~10,000).
+    pub files: usize,
+    /// Mean file size in bytes.
+    pub iosize: usize,
+}
+
+impl Default for Fileserver {
+    fn default() -> Self {
+        Fileserver {
+            dirs: 526,
+            files: 10_000,
+            iosize: 16 * 1024,
+        }
+    }
+}
+
+impl Fileserver {
+    /// A shrunken configuration for tests.
+    pub fn small() -> Self {
+        Fileserver {
+            dirs: 16,
+            files: 200,
+            iosize: 2048,
+        }
+    }
+
+    fn dir_of(&self, i: usize) -> String {
+        format!("/fileserver/d{}", i % self.dirs)
+    }
+
+    /// Create the directory tree and initial file population.
+    pub fn setup(&self, fs: &dyn FileSystem) -> FsResult<()> {
+        fs.mkdir_all("/fileserver")?;
+        for d in 0..self.dirs {
+            fs.mkdir(&format!("/fileserver/d{d}"))?;
+        }
+        let data = vec![0x11u8; self.iosize];
+        for i in 0..self.files {
+            let path = format!("{}/pre{i}", self.dir_of(i));
+            fs.write_file(&path, &data)?;
+        }
+        Ok(())
+    }
+
+    /// One worker thread: `iters` Fileserver iterations. Returns ops.
+    pub fn run_thread(&self, fs: &dyn FileSystem, thread: usize, iters: usize, seed: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ (thread as u64) << 17);
+        let data = vec![0x22u8; self.iosize];
+        let mut buf = vec![0u8; self.iosize];
+        let mut ops = 0u64;
+        for i in 0..iters {
+            let dir = self.dir_of(rng.random_range(0..self.dirs * 97));
+            let fresh = format!("{dir}/t{thread}_{i}");
+            // create + whole-file write
+            if fs.mknod(&fresh).is_ok() {
+                let _ = fs.write(&fresh, 0, &data);
+                ops += 1;
+            }
+            ops += 1;
+            // append to it
+            let _ = fs.write(&fresh, self.iosize as u64, &data[..1024]);
+            ops += 1;
+            // read a pre-created file in some directory
+            let pre = format!(
+                "{}/pre{}",
+                self.dir_of(rng.random_range(0..self.files.max(1))),
+                rng.random_range(0..self.files.max(1))
+            );
+            let _ = fs.read(&pre, 0, &mut buf);
+            ops += 1;
+            // stat + delete the fresh file
+            let _ = fs.stat(&fresh);
+            let _ = fs.unlink(&fresh);
+            ops += 2;
+        }
+        ops
+    }
+}
+
+/// The Webproxy personality.
+#[derive(Debug, Clone, Copy)]
+pub struct Webproxy {
+    /// Cached objects pre-created per directory.
+    pub objects: usize,
+    /// Mean object size.
+    pub iosize: usize,
+}
+
+impl Default for Webproxy {
+    fn default() -> Self {
+        Webproxy {
+            objects: 1000,
+            iosize: 8 * 1024,
+        }
+    }
+}
+
+impl Webproxy {
+    /// A shrunken configuration for tests.
+    pub fn small() -> Self {
+        Webproxy {
+            objects: 50,
+            iosize: 1024,
+        }
+    }
+
+    /// The two hot directories (the paper notes Webproxy "involves only
+    /// two directories, which cannot leverage the benefit of multicore
+    /// concurrency").
+    pub fn dirs() -> [&'static str; 2] {
+        ["/webproxy/cache", "/webproxy/logs"]
+    }
+
+    /// Create the cache/log directories and the initial population.
+    pub fn setup(&self, fs: &dyn FileSystem) -> FsResult<()> {
+        fs.mkdir_all("/webproxy")?;
+        for d in Self::dirs() {
+            match fs.mkdir(d) {
+                Ok(()) | Err(FsError::Exists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let data = vec![0x33u8; self.iosize];
+        for i in 0..self.objects {
+            fs.write_file(&format!("/webproxy/cache/obj{i}"), &data)?;
+        }
+        Ok(())
+    }
+
+    /// One worker thread: `iters` Webproxy iterations (delete + create +
+    /// append log + five reads). Returns ops.
+    pub fn run_thread(&self, fs: &dyn FileSystem, thread: usize, iters: usize, seed: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ (thread as u64) << 23);
+        let data = vec![0x44u8; self.iosize];
+        let mut buf = vec![0u8; self.iosize];
+        let log = format!("/webproxy/logs/log{thread}");
+        let _ = fs.mknod(&log);
+        let mut ops = 0u64;
+        for i in 0..iters {
+            let fresh = format!("/webproxy/cache/t{thread}_{i}");
+            let _ = fs.unlink(&format!(
+                "/webproxy/cache/t{thread}_{}",
+                i.saturating_sub(1)
+            ));
+            if fs.mknod(&fresh).is_ok() {
+                let _ = fs.write(&fresh, 0, &data);
+            }
+            let _ = fs.write(&log, (i * 64) as u64, &data[..64.min(data.len())]);
+            ops += 3;
+            for _ in 0..5 {
+                let obj = format!("/webproxy/cache/obj{}", rng.random_range(0..self.objects));
+                let _ = fs.read(&obj, 0, &mut buf);
+                ops += 1;
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs::AtomFs;
+    use std::sync::Arc;
+
+    #[test]
+    fn fileserver_setup_and_run() {
+        let cfg = Fileserver::small();
+        let fs = AtomFs::new();
+        cfg.setup(&fs).unwrap();
+        assert_eq!(fs.readdir("/fileserver").unwrap().len(), cfg.dirs);
+        let ops = cfg.run_thread(&fs, 0, 20, 1);
+        assert!(ops >= 20 * 5);
+    }
+
+    #[test]
+    fn webproxy_setup_and_run() {
+        let cfg = Webproxy::small();
+        let fs = AtomFs::new();
+        cfg.setup(&fs).unwrap();
+        let ops = cfg.run_thread(&fs, 0, 20, 1);
+        assert!(ops >= 20 * 8);
+        assert!(fs.stat("/webproxy/logs/log0").unwrap().size > 0);
+    }
+
+    #[test]
+    fn fileserver_concurrent_threads() {
+        let cfg = Fileserver::small();
+        let fs = Arc::new(AtomFs::new());
+        cfg.setup(&*fs).unwrap();
+        let r = crate::driver::run_threads(Arc::clone(&fs), 4, move |fs, t| {
+            cfg.run_thread(&*fs, t, 25, 7)
+        });
+        assert!(r.ops >= 4 * 25 * 5);
+    }
+
+    #[test]
+    fn webproxy_concurrent_threads() {
+        let cfg = Webproxy::small();
+        let fs = Arc::new(AtomFs::new());
+        cfg.setup(&*fs).unwrap();
+        let r = crate::driver::run_threads(Arc::clone(&fs), 4, move |fs, t| {
+            cfg.run_thread(&*fs, t, 25, 9)
+        });
+        assert!(r.ops > 0);
+    }
+}

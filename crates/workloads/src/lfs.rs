@@ -1,0 +1,81 @@
+//! The LFS microbenchmarks (Rosenblum & Ousterhout), as used by the FSCQ
+//! line of work and by the paper's Figure 10.
+//!
+//! * `largefile` — write one large file sequentially in fixed-size
+//!   chunks, then read it back sequentially (the paper uses 10 MB);
+//! * `smallfile` — create / write / read / delete many small files (the
+//!   paper uses 10,000 files of 1 KB).
+
+use atomfs_vfs::{FileSystem, FsResult};
+
+/// Chunk size for sequential large-file I/O.
+pub const CHUNK: usize = 64 * 1024;
+
+/// Run the `largefile` benchmark: sequential write then sequential read
+/// of one `size`-byte file under `dir`. Returns the operation count.
+pub fn largefile(fs: &dyn FileSystem, dir: &str, size: usize) -> FsResult<u64> {
+    let path = format!("{dir}/large");
+    fs.mknod(&path)?;
+    let chunk = vec![0xA5u8; CHUNK];
+    let mut ops = 1u64;
+    let mut off = 0usize;
+    while off < size {
+        let n = CHUNK.min(size - off);
+        fs.write(&path, off as u64, &chunk[..n])?;
+        ops += 1;
+        off += n;
+    }
+    let mut buf = vec![0u8; CHUNK];
+    let mut off = 0usize;
+    while off < size {
+        let n = fs.read(&path, off as u64, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        ops += 1;
+        off += n;
+    }
+    fs.unlink(&path)?;
+    Ok(ops + 1)
+}
+
+/// Run the `smallfile` benchmark: for each of `nfiles` files of `fsize`
+/// bytes — create, write, read back, delete. Returns the operation count.
+pub fn smallfile(fs: &dyn FileSystem, dir: &str, nfiles: usize, fsize: usize) -> FsResult<u64> {
+    let data = vec![0x5Au8; fsize];
+    let mut buf = vec![0u8; fsize];
+    let mut ops = 0u64;
+    for i in 0..nfiles {
+        let path = format!("{dir}/small{i}");
+        fs.mknod(&path)?;
+        fs.write(&path, 0, &data)?;
+        fs.read(&path, 0, &mut buf)?;
+        fs.unlink(&path)?;
+        ops += 4;
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs::AtomFs;
+
+    #[test]
+    fn largefile_runs_on_atomfs() {
+        let fs = AtomFs::new();
+        fs.mkdir("/w").unwrap();
+        let ops = largefile(&fs, "/w", 300 * 1024).unwrap();
+        assert!(ops >= 10);
+        assert!(fs.readdir("/w").unwrap().is_empty(), "cleaned up");
+    }
+
+    #[test]
+    fn smallfile_runs_on_atomfs() {
+        let fs = AtomFs::new();
+        fs.mkdir("/w").unwrap();
+        let ops = smallfile(&fs, "/w", 50, 1024).unwrap();
+        assert_eq!(ops, 200);
+        assert!(fs.readdir("/w").unwrap().is_empty());
+    }
+}

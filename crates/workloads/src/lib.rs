@@ -1,0 +1,26 @@
+//! Workload generators for the AtomFS evaluation (§7).
+//!
+//! The paper's experiments run real applications (git, make, cp, ripgrep),
+//! the LFS microbenchmarks, and two Filebench personalities on top of
+//! FUSE-mounted file systems. This crate regenerates those workloads as
+//! synthetic operation mixes against the [`atomfs_vfs::FileSystem`] trait,
+//! so every file system in the workspace runs the identical request
+//! stream:
+//!
+//! * [`lfs`] — the LFS `largefile` / `smallfile` microbenchmarks
+//!   (Figure 10, first two groups);
+//! * [`apps`] — synthetic equivalents of the four application workloads
+//!   (Figure 10, remaining groups), sized by a scale factor;
+//! * [`filebench`] — the Fileserver and Webproxy personalities used for
+//!   the scalability study (Figure 11);
+//! * [`opmix`] — a seeded random operation mix over a small tree, used by
+//!   the linearizability stress tests;
+//! * [`driver`] — thread fan-out and timing helpers.
+
+pub mod apps;
+pub mod driver;
+pub mod filebench;
+pub mod lfs;
+pub mod opmix;
+
+pub use driver::{run_threads, RunResult};

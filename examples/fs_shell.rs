@@ -1,0 +1,139 @@
+//! A tiny shell over AtomFS — drive the file system interactively.
+//!
+//! ```sh
+//! cargo run --example fs_shell
+//! # or scripted:
+//! printf 'mkdir /a\nwrite /a/f hello\ncat /a/f\nmv /a /b\nls /b\nexit\n' \
+//!   | cargo run --example fs_shell
+//! ```
+//!
+//! Commands: `mkdir P`, `touch P`, `write P TEXT...`, `append P TEXT...`,
+//! `cat P`, `ls [P]`, `stat P`, `mv SRC DST`, `rm P`, `rmdir P`,
+//! `truncate P N`, `tree [P]`, `help`, `exit`.
+
+use std::io::{BufRead, Write as _};
+
+use atomfs::AtomFs;
+use atomfs_vfs::fs::FileSystemExt;
+use atomfs_vfs::{FileSystem, FsResult};
+
+fn tree(fs: &AtomFs, path: &str, depth: usize, out: &mut impl std::io::Write) -> FsResult<()> {
+    let mut names = fs.readdir(path)?;
+    names.sort();
+    for name in names {
+        let child = atomfs_vfs::path::join(path, &name);
+        let meta = fs.stat(&child)?;
+        let marker = if meta.ftype.is_dir() { "/" } else { "" };
+        writeln!(out, "{}{}{}", "  ".repeat(depth), name, marker).ok();
+        if meta.ftype.is_dir() {
+            tree(fs, &child, depth + 1, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn run_command(fs: &AtomFs, line: &str) -> bool {
+    let mut parts = line.split_whitespace();
+    let Some(cmd) = parts.next() else { return true };
+    let args: Vec<&str> = parts.collect();
+    let result: FsResult<String> = (|| match (cmd, args.as_slice()) {
+        ("mkdir", [p]) => fs.mkdir(p).map(|()| String::new()),
+        ("touch", [p]) => fs.mknod(p).map(|()| String::new()),
+        ("write", [p, text @ ..]) => {
+            let data = text.join(" ");
+            fs.write_file(p, data.as_bytes()).map(|()| String::new())
+        }
+        ("append", [p, text @ ..]) => {
+            let size = fs.stat(p)?.size;
+            let data = text.join(" ");
+            fs.write(p, size, data.as_bytes()).map(|_| String::new())
+        }
+        ("cat", [p]) => fs
+            .read_to_vec(p)
+            .map(|d| String::from_utf8_lossy(&d).into_owned()),
+        ("ls", []) | ("ls", ["/"]) => fs.readdir("/").map(|mut v| {
+            v.sort();
+            v.join("\n")
+        }),
+        ("ls", [p]) => fs.readdir(p).map(|mut v| {
+            v.sort();
+            v.join("\n")
+        }),
+        ("stat", [p]) => fs.stat(p).map(|m| {
+            format!(
+                "ino={} type={:?} size={} nlink={}",
+                m.ino, m.ftype, m.size, m.nlink
+            )
+        }),
+        ("mv", [s, d]) => fs.rename(s, d).map(|()| String::new()),
+        ("rm", [p]) => fs.unlink(p).map(|()| String::new()),
+        ("rmdir", [p]) => fs.rmdir(p).map(|()| String::new()),
+        ("truncate", [p, n]) => {
+            let size: u64 = n
+                .parse()
+                .map_err(|_| atomfs_vfs::FsError::InvalidArgument)?;
+            fs.truncate(p, size).map(|()| String::new())
+        }
+        ("tree", rest) => {
+            let root = rest.first().copied().unwrap_or("/");
+            let mut buf = Vec::new();
+            tree(fs, root, 0, &mut buf)?;
+            Ok(String::from_utf8_lossy(&buf).into_owned())
+        }
+        ("help", _) => {
+            Ok("mkdir touch write append cat ls stat mv rm rmdir truncate tree exit".to_string())
+        }
+        ("exit", _) | ("quit", _) => Err(atomfs_vfs::FsError::Unsupported), // sentinel
+        (
+            known @ ("mkdir" | "touch" | "write" | "append" | "cat" | "ls" | "stat" | "mv" | "rm"
+            | "rmdir" | "truncate"),
+            _,
+        ) => Ok(format!(
+            "usage: {known} requires more arguments (try `help`)"
+        )),
+        _ => Ok(format!("unknown command {cmd:?} (try `help`)")),
+    })();
+    match (cmd, result) {
+        ("exit", _) | ("quit", _) => false,
+        (_, Ok(s)) => {
+            if !s.is_empty() {
+                println!("{s}");
+            }
+            true
+        }
+        (_, Err(e)) => {
+            println!("error: {e}");
+            true
+        }
+    }
+}
+
+fn main() {
+    let fs = AtomFs::new();
+    println!("atomfs shell — in-memory, linearizable. `help` lists commands.");
+    let stdin = std::io::stdin();
+    let interactive = atty_guess();
+    loop {
+        if interactive {
+            print!("atomfs> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !run_command(&fs, line.trim()) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    println!("bye");
+}
+
+/// A crude interactivity guess without extra dependencies: honour an
+/// explicit environment override, default to printing prompts.
+fn atty_guess() -> bool {
+    std::env::var_os("ATOMFS_SHELL_QUIET").is_none()
+}

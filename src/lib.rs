@@ -1,0 +1,1 @@
+//! Workspace-level integration crate: see `tests/` and `examples/`.

@@ -1,0 +1,194 @@
+//! Figure 8 — violating the non-bypassable criterion.
+//!
+//! The paper's Figure 8 shows why lock coupling matters: if a `del` can
+//! bypass an in-flight `ins` that a rename already helped, the concrete
+//! execution diverges from the abstract linearization and the file system
+//! is no longer linearizable. These tests stage that exact interleaving
+//! on `BypassFs` (AtomFS with coupling removed) and demonstrate that
+//!
+//! 1. the corruption is *real* — a use-after-free of a recycled inode
+//!    makes a file appear in a directory that was never named, and the
+//!    resulting history is rejected by the generic WGL checker;
+//! 2. the CRL-H checker *detects* it, flagging the bypass through the
+//!    non-bypassable invariants (Table 1) and the abstraction relation;
+//! 3. AtomFS's lock coupling makes the same schedule unschedulable — the
+//!    bypasser physically blocks.
+
+use std::sync::Arc;
+
+use atomfs_baselines::BypassFs;
+use atomfs_trace::{set_current_tid, BufferSink, Tid, TraceSink};
+use atomfs_vfs::{FileSystem, FsError};
+use crlh::history::History;
+use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence, ViolationKind};
+use parking_lot::{Condvar, Mutex};
+
+/// A simple one-shot parking spot for the bypass-window hook.
+struct Park {
+    parked: Mutex<bool>,
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Park {
+    fn new() -> Self {
+        Park {
+            parked: Mutex::new(false),
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn enter(&self) {
+        *self.parked.lock() = true;
+        self.cv.notify_all();
+        let mut open = self.open.lock();
+        while !*open {
+            self.cv.wait(&mut open);
+        }
+    }
+
+    fn wait_parked(&self) {
+        let mut parked = self.parked.lock();
+        while !*parked {
+            self.cv.wait(&mut parked);
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Stage Figure 8 on BypassFs. Returns the recorded trace.
+fn stage_figure_8() -> (Vec<atomfs_trace::Event>, FsError, bool) {
+    let sink = Arc::new(BufferSink::new());
+    let fs = Arc::new(BypassFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/a/b").unwrap();
+    fs.mkdir("/a/b/c").unwrap();
+    let c_ino = fs.stat("/a/b/c").unwrap().ino;
+
+    // t2's walk parks in the bypass window, just before locking /a/b/c —
+    // holding NO locks (the defining difference from lock coupling).
+    let park = Arc::new(Park::new());
+    let p2 = Arc::clone(&park);
+    fs.set_walk_hook(Arc::new(move |tid, ino| {
+        if tid == Tid(801) && ino == c_ino {
+            p2.enter();
+        }
+    }));
+    let fs2 = Arc::clone(&fs);
+    let ins = std::thread::spawn(move || {
+        set_current_tid(Tid(801));
+        fs2.mknod("/a/b/c/d")
+    });
+    park.wait_parked();
+
+    // t1 completes a rename that breaks t2's path, then bypasses t2:
+    // deletes /i/b/c (possible — t2 holds nothing!) and recycles its
+    // inode as /z.
+    set_current_tid(Tid(802));
+    fs.rename("/a", "/i").unwrap();
+    fs.rmdir("/i/b/c").unwrap();
+    fs.mkdir("/z").unwrap();
+    let z_ino = fs.stat("/z").unwrap().ino;
+    assert_eq!(z_ino, c_ino, "the free list recycles c's inode as /z");
+
+    park.release();
+    let ins_result = ins.join().unwrap();
+
+    // The observable catastrophe: if the ins "succeeded", the new entry
+    // landed inside /z — a directory its path never named.
+    let corrupted = fs.stat("/z/d").is_ok();
+    let err = ins_result.err().unwrap_or(FsError::Unsupported);
+    (
+        sink.take(),
+        if ins_result.is_ok() {
+            FsError::Unsupported
+        } else {
+            err
+        },
+        corrupted,
+    )
+}
+
+#[test]
+fn figure_8_bypass_corrupts_and_is_detected() {
+    let (events, _err, corrupted) = stage_figure_8();
+    assert!(
+        corrupted,
+        "the use-after-free must plant /d inside the recycled /z"
+    );
+    // The CRL-H checker flags the execution.
+    let report = LpChecker::check(
+        CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::AtUnlock,
+            invariants: true,
+        },
+        &events,
+    );
+    assert!(!report.is_ok(), "the checker must reject the bypass");
+    assert!(
+        !report
+            .of_kind(ViolationKind::UnhelpedNonBypassable)
+            .is_empty(),
+        "the rmdir locked an inode in the helped ins's FutLockPath: {:?}",
+        report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+    );
+    // And the history itself is non-linearizable: mknod(/a/b/c/d)
+    // "succeeded" while /z/d is where the entry went.
+    let wgl = crlh::wgl::check_linearizable(&History::from_trace(&events));
+    assert!(
+        wgl.is_err(),
+        "no sequential history explains the observed results"
+    );
+}
+
+#[test]
+fn atomfs_cannot_be_bypassed() {
+    // The same schedule on real AtomFS: while the mkdir is parked inside
+    // its critical section it HOLDS /a/b/c's parent chain lock, so the
+    // rmdir physically blocks until the mkdir finishes — the
+    // non-bypassable criterion in action.
+    use atomfs::AtomFs;
+    use atomfs_trace::{Event, GateSink};
+
+    let sink = Arc::new(GateSink::new(BufferSink::new()));
+    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/a/b").unwrap();
+    fs.mkdir("/a/b/c").unwrap();
+
+    let gate = sink.add_gate(|e| matches!(e, Event::Mutate { tid, .. } if *tid == Tid(811)));
+    let fs2 = Arc::clone(&fs);
+    let ins = std::thread::spawn(move || {
+        set_current_tid(Tid(811));
+        fs2.mknod("/a/b/c/d")
+    });
+    sink.wait_parked(gate);
+
+    set_current_tid(Tid(812));
+    fs.rename("/a", "/i").unwrap();
+    // The would-be bypasser blocks on /i/b/c's lock, so run it in a
+    // thread and verify it has not completed while the mkdir is parked.
+    let fs3 = Arc::clone(&fs);
+    let del = std::thread::spawn(move || {
+        set_current_tid(Tid(813));
+        fs3.rmdir("/i/b/c")
+    });
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(!del.is_finished(), "lock coupling must block the bypasser");
+
+    sink.open(gate);
+    assert_eq!(ins.join().unwrap(), Ok(()));
+    // Now the delete proceeds — and correctly fails: the directory is no
+    // longer empty (it contains the helped mkdir's /d).
+    assert_eq!(del.join().unwrap(), Err(FsError::NotEmpty));
+
+    let report = LpChecker::check(CheckerConfig::default(), &sink.inner().take());
+    report.assert_ok();
+    assert!(report.stats.helps >= 1);
+}

@@ -1,0 +1,148 @@
+//! Differential semantics testing: every file system in the workspace
+//! implements the same POSIX semantics, so the same single-threaded
+//! operation sequence must produce the *identical* result sequence on all
+//! of them. The sequential tree baseline (`SeqFs`, which is also the
+//! DFSCQ stand-in) acts as the executable oracle.
+
+use atomfs::AtomFs;
+use atomfs_baselines::{BigLockFs, RetryFs, RwTreeFs, SeqFs};
+use atomfs_vfs::{FileSystem, FsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An abstract result comparable across implementations (inode numbers
+/// are implementation-specific and excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum R {
+    Unit(Result<(), FsError>),
+    Stat(Result<(bool, u64), FsError>),
+    Names(Result<Vec<String>, FsError>),
+    Data(Result<Vec<u8>, FsError>),
+    Len(Result<usize, FsError>),
+}
+
+fn run_script(fs: &dyn FileSystem, seed: u64, count: usize) -> Vec<R> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut results = Vec::with_capacity(count);
+    let dirs = ["/d0", "/d1", "/d0/s", "/d1/s"];
+    let path = |rng: &mut StdRng| {
+        format!(
+            "{}/n{}",
+            dirs[rng.random_range(0..dirs.len())],
+            rng.random_range(0..5)
+        )
+    };
+    for i in 0..count {
+        let a = path(&mut rng);
+        let b = path(&mut rng);
+        let r = match rng.random_range(0..12) {
+            0 => R::Unit(fs.mknod(&a)),
+            1 => R::Unit(fs.mkdir(&a)),
+            2 => R::Unit(fs.unlink(&a)),
+            3 => R::Unit(fs.rmdir(&a)),
+            4 => R::Unit(fs.rename(&a, &b)),
+            5 => R::Stat(fs.stat(&a).map(|m| (m.ftype.is_dir(), m.size))),
+            6 => R::Names(fs.readdir(&a).map(|mut v| {
+                v.sort();
+                v
+            })),
+            7 => {
+                let mut buf = vec![0u8; 24];
+                R::Data(fs.read(&a, (i % 7) as u64, &mut buf).map(|n| {
+                    buf.truncate(n);
+                    buf
+                }))
+            }
+            8 => R::Len(fs.write(&a, (i % 5) as u64, format!("w{i}").as_bytes())),
+            9 => R::Unit(fs.truncate(&a, (i % 9) as u64)),
+            10 => R::Unit(fs.rename(&a, &format!("{a}/sub"))), // EINVAL family
+            _ => R::Stat(
+                fs.stat(&format!("{a}/deep/er"))
+                    .map(|m| (m.ftype.is_dir(), m.size)),
+            ),
+        };
+        results.push(r);
+    }
+    results
+}
+
+fn setup(fs: &dyn FileSystem) {
+    for d in ["/d0", "/d1", "/d0/s", "/d1/s"] {
+        fs.mkdir(d).unwrap();
+    }
+}
+
+fn diff_all(seed: u64, count: usize) {
+    let oracle = SeqFs::new();
+    setup(&oracle);
+    let expected = run_script(&oracle, seed, count);
+
+    let atomfs = AtomFs::new();
+    setup(&atomfs);
+    let retry = RetryFs::new();
+    setup(&retry);
+    let rwtree = RwTreeFs::new();
+    setup(&rwtree);
+    let biglock = BigLockFs::new(AtomFs::new());
+    setup(&biglock);
+
+    let candidates: Vec<(&str, Vec<R>)> = vec![
+        ("atomfs", run_script(&atomfs, seed, count)),
+        ("retryfs", run_script(&retry, seed, count)),
+        ("rwtreefs", run_script(&rwtree, seed, count)),
+        ("biglock", run_script(&biglock, seed, count)),
+    ];
+    for (name, got) in candidates {
+        for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(
+                g, e,
+                "{name} diverged from the SeqFs oracle at step {i} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_small_seeds() {
+    for seed in 0..10 {
+        diff_all(seed, 400);
+    }
+}
+
+#[test]
+fn differential_long_run() {
+    diff_all(777, 3000);
+}
+
+#[test]
+fn differential_rename_heavy() {
+    // A rename-dominated script stresses the trickiest error precedence.
+    let script = |fs: &dyn FileSystem| {
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let paths = [
+            "/d0", "/d0/s", "/d0/n1", "/d1", "/d1/n1", "/d0/s/x", "/d0/n1/y",
+        ];
+        for _ in 0..600 {
+            let a = paths[rng.random_range(0..paths.len())];
+            let b = paths[rng.random_range(0..paths.len())];
+            out.push(R::Unit(fs.rename(a, b)));
+            if rng.random_bool(0.3) {
+                out.push(R::Unit(fs.mkdir(a)));
+            }
+            if rng.random_bool(0.2) {
+                out.push(R::Unit(fs.mknod(b)));
+            }
+        }
+        out
+    };
+    let oracle = SeqFs::new();
+    setup(&oracle);
+    let expected = script(&oracle);
+    let atomfs = AtomFs::new();
+    setup(&atomfs);
+    assert_eq!(script(&atomfs), expected, "atomfs vs oracle");
+    let retry = RetryFs::new();
+    setup(&retry);
+    assert_eq!(script(&retry), expected, "retryfs vs oracle");
+}

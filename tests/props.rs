@@ -1,0 +1,388 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants:
+//!
+//! * **differential**: random op scripts agree between AtomFS and the
+//!   sequential oracle (and the abstract specification itself);
+//! * **roll-back**: applying random valid micro-op sequences and
+//!   unapplying them in reverse is the identity — the soundness core of
+//!   the abstraction relation;
+//! * **paths**: normalization is idempotent and round-trips;
+//! * **dirhash**: the chained hash table behaves like a model map;
+//! * **sequential refinement**: single-threaded AtomFS traces replayed
+//!   through the full checker are always clean, and the final abstract
+//!   state matches the shadow concrete state exactly.
+
+use std::sync::Arc;
+
+use atomfs::dirhash::DirHash;
+use atomfs::AtomFs;
+use atomfs_baselines::SeqFs;
+use atomfs_trace::{BufferSink, MicroOp, TraceSink, ROOT_INUM};
+use atomfs_vfs::path::{is_prefix, normalize, to_string};
+use atomfs_vfs::{FileSystem, FileType};
+use crlh::state::{FsState, Node};
+use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence};
+use proptest::prelude::*;
+
+/// A small alphabet of operations over a bounded namespace.
+#[derive(Debug, Clone)]
+enum Op {
+    Mknod(u8, u8),
+    Mkdir(u8, u8),
+    Unlink(u8, u8),
+    Rmdir(u8, u8),
+    Rename(u8, u8, u8, u8),
+    Write(u8, u8, u8),
+    Truncate(u8, u8, u8),
+    Stat(u8, u8),
+    Readdir(u8),
+    Read(u8, u8, u8),
+}
+
+fn path(d: u8, n: u8) -> String {
+    format!("/dir{}/f{}", d % 3, n % 4)
+}
+
+fn dirpath(d: u8) -> String {
+    format!("/dir{}", d % 3)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Mknod(d, n)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Mkdir(d, n)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Unlink(d, n)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Rmdir(d, n)),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(a, b, c, d)| Op::Rename(a, b, c, d)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, n, k)| Op::Write(d, n, k)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, n, k)| Op::Truncate(d, n, k)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Stat(d, n)),
+        any::<u8>().prop_map(Op::Readdir),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(d, n, k)| Op::Read(d, n, k)),
+    ]
+}
+
+/// Execute one op, producing a comparable abstract result string.
+fn exec(fs: &dyn FileSystem, op: &Op) -> String {
+    match op {
+        Op::Mknod(d, n) => format!("{:?}", fs.mknod(&path(*d, *n))),
+        Op::Mkdir(d, n) => format!("{:?}", fs.mkdir(&path(*d, *n))),
+        Op::Unlink(d, n) => format!("{:?}", fs.unlink(&path(*d, *n))),
+        Op::Rmdir(d, n) => format!("{:?}", fs.rmdir(&path(*d, *n))),
+        Op::Rename(a, b, c, d) => format!("{:?}", fs.rename(&path(*a, *b), &path(*c, *d))),
+        Op::Write(d, n, k) => format!(
+            "{:?}",
+            fs.write(&path(*d, *n), u64::from(*k % 16), &[*k; 5])
+        ),
+        Op::Truncate(d, n, k) => {
+            format!("{:?}", fs.truncate(&path(*d, *n), u64::from(*k % 32)))
+        }
+        Op::Stat(d, n) => format!("{:?}", fs.stat(&path(*d, *n)).map(|m| (m.ftype, m.size))),
+        Op::Readdir(d) => format!(
+            "{:?}",
+            fs.readdir(&dirpath(*d)).map(|mut v| {
+                v.sort();
+                v
+            })
+        ),
+        Op::Read(d, n, k) => {
+            let mut buf = vec![0u8; usize::from(*k % 16) + 1];
+            format!(
+                "{:?}",
+                fs.read(&path(*d, *n), u64::from(*k % 8), &mut buf)
+                    .map(|x| {
+                        buf.truncate(x);
+                        buf
+                    })
+            )
+        }
+    }
+}
+
+fn setup(fs: &dyn FileSystem) {
+    for d in 0..3 {
+        fs.mkdir(&format!("/dir{d}")).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AtomFS and the sequential oracle agree on every script.
+    #[test]
+    fn atomfs_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let a = AtomFs::new();
+        setup(&a);
+        let b = SeqFs::new();
+        setup(&b);
+        for (i, op) in ops.iter().enumerate() {
+            prop_assert_eq!(exec(&a, op), exec(&b, op), "divergence at step {}", i);
+        }
+    }
+
+    /// Sequential instrumented runs always check clean, and at quiescence
+    /// the abstract state equals the shadow concrete state (the identity
+    /// abstraction relation).
+    #[test]
+    fn sequential_traces_always_check_clean(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let sink = Arc::new(BufferSink::new());
+        let fs = AtomFs::traced(sink.clone() as Arc<dyn TraceSink>);
+        setup(&fs);
+        for op in &ops {
+            exec(&fs, op);
+        }
+        let report = LpChecker::check(
+            CheckerConfig {
+                mode: HelperMode::Helpers,
+                relation: RelationCadence::EveryEvent,
+                invariants: true,
+            },
+            &sink.take(),
+        );
+        prop_assert!(report.is_ok(), "violations: {:?}", report.violations);
+        prop_assert_eq!(report.stats.helps, 0);
+    }
+
+    /// Applying a random valid micro-op sequence then unapplying it in
+    /// reverse restores the original state exactly.
+    #[test]
+    fn rollback_is_exact_inverse(seed in any::<u64>(), steps in 1usize..60) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = FsState::new();
+        let mut applied: Vec<MicroOp> = Vec::new();
+        let mut next = 100u64;
+        for _ in 0..steps {
+            // Build a random *valid* micro-op against the current state.
+            let ids: Vec<u64> = state.map.keys().copied().collect();
+            let pick = ids[rng.random_range(0..ids.len())];
+            let op = match rng.random_range(0..4) {
+                0 => {
+                    next += 1;
+                    MicroOp::Create {
+                        ino: next,
+                        ftype: if rng.random_bool(0.5) { FileType::File } else { FileType::Dir },
+                    }
+                }
+                1 => {
+                    // Insert an existing orphan under a directory.
+                    let dirs: Vec<u64> = state
+                        .map
+                        .iter()
+                        .filter(|(_, n)| matches!(n, Node::Dir(_)))
+                        .map(|(id, _)| *id)
+                        .collect();
+                    let orphans: Vec<u64> = {
+                        let reachable = state.reachable();
+                        state.map.keys().copied().filter(|i| !reachable.contains(i)).collect()
+                    };
+                    if orphans.is_empty() {
+                        continue;
+                    }
+                    MicroOp::Ins {
+                        parent: dirs[rng.random_range(0..dirs.len())],
+                        name: format!("e{}", rng.random_range(0..1000u32)),
+                        child: orphans[rng.random_range(0..orphans.len())],
+                    }
+                }
+                2 => match state.node(pick) {
+                    Some(Node::File(f)) => MicroOp::SetData {
+                        ino: pick,
+                        old: f.clone(),
+                        new: vec![rng.random(); rng.random_range(0..32)],
+                    },
+                    _ => continue,
+                },
+                _ => {
+                    // Delete a random entry from a random directory.
+                    let entry = state.map.iter().find_map(|(id, n)| match n {
+                        Node::Dir(d) => d
+                            .iter()
+                            .next()
+                            .map(|(name, child)| (*id, name.clone(), *child)),
+                        _ => None,
+                    });
+                    match entry {
+                        Some((parent, name, child)) => MicroOp::Del { parent, name, child },
+                        None => continue,
+                    }
+                }
+            };
+            // Ins may collide with an existing name; skip those.
+            if state.apply_micro(&op).is_ok() {
+                applied.push(op);
+            }
+        }
+        let snapshot = state.clone();
+        prop_assert!(snapshot.map.contains_key(&ROOT_INUM));
+        for op in applied.iter().rev() {
+            state.unapply_micro(op).unwrap();
+        }
+        prop_assert_eq!(state, FsState::new());
+        // And replaying restores the snapshot.
+        let mut replay = FsState::new();
+        for op in &applied {
+            replay.apply_micro(op).unwrap();
+        }
+        prop_assert_eq!(replay, snapshot);
+    }
+
+    /// Path normalization is idempotent and `to_string ∘ normalize` is a
+    /// fixpoint.
+    #[test]
+    fn normalize_idempotent(parts in proptest::collection::vec("[a-z.]{0,6}", 0..8)) {
+        let raw = format!("/{}", parts.join("/"));
+        if let Ok(c1) = normalize(&raw) {
+            let printed = to_string(&c1);
+            let c2 = normalize(&printed).unwrap();
+            prop_assert_eq!(&c1, &c2);
+            prop_assert_eq!(to_string(&c2), printed);
+        }
+    }
+
+    /// `is_prefix` is reflexive, transitive in chains, and monotone.
+    #[test]
+    fn prefix_laws(v in proptest::collection::vec(any::<u32>(), 0..10), cut in any::<usize>()) {
+        let k = if v.is_empty() { 0 } else { cut % (v.len() + 1) };
+        prop_assert!(is_prefix(&v[..k], &v));
+        prop_assert!(is_prefix(&v, &v));
+    }
+
+    /// The chained hash directory behaves exactly like a model BTreeMap.
+    #[test]
+    fn dirhash_matches_model(
+        cmds in proptest::collection::vec(
+            (any::<bool>(), 0u16..40, any::<bool>()), 1..200
+        )
+    ) {
+        let mut dir = DirHash::new();
+        // Model maps name -> (inum, is_dir); the is_dir flag passed to
+        // remove must match the one used at insert (the DirHash caller
+        // contract — AtomFS always knows the victim's type under lock).
+        let mut model = std::collections::BTreeMap::<String, (u64, bool)>::new();
+        for (insert, key, is_dir) in cmds {
+            let name = format!("k{key}");
+            if insert {
+                let expect = !model.contains_key(&name);
+                let got = dir.insert(&name, u64::from(key), is_dir);
+                prop_assert_eq!(got, expect);
+                if expect {
+                    model.insert(name, (u64::from(key), is_dir));
+                }
+            } else if let Some(&(v, stored_is_dir)) = model.get(&name) {
+                prop_assert_eq!(dir.remove(&name, stored_is_dir), Some(v));
+                model.remove(&name);
+            } else {
+                prop_assert_eq!(dir.remove(&name, is_dir), None);
+            }
+            prop_assert_eq!(dir.len(), model.len());
+            let expected_subdirs =
+                model.values().filter(|(_, d)| *d).count() as u32;
+            prop_assert_eq!(dir.subdirs(), expected_subdirs);
+            for (k, (v, _)) in &model {
+                prop_assert_eq!(dir.lookup(k), Some(*v));
+            }
+        }
+        let mut names = dir.names();
+        names.sort();
+        let expected: Vec<String> = model.keys().cloned().collect();
+        prop_assert_eq!(names, expected);
+    }
+
+    /// The abstract spec agrees with the concrete AtomFS on sequential
+    /// scripts: run ops on both, compare result strings.
+    #[test]
+    fn abstract_spec_refines_concrete(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        use atomfs_trace::{OpDesc, OpRet};
+        let fs = AtomFs::new();
+        setup(&fs);
+        let mut afs = FsState::new();
+        let mut next_id = 1000u64;
+        let mut alloc = |_ft: FileType| { next_id += 1; next_id };
+        for d in 0..3 {
+            let (_, ret, err) = crlh::afs::apply_aop(
+                &mut afs,
+                &OpDesc::Mkdir { path: vec![format!("dir{d}")] },
+                &mut alloc,
+            );
+            prop_assert_eq!(ret, OpRet::Ok);
+            prop_assert!(err.is_none());
+        }
+        for op in &ops {
+            let concrete = exec(&fs, op);
+            let desc = desc_of(op);
+            let (_, aret, err) = crlh::afs::apply_aop(&mut afs, &desc, &mut alloc);
+            prop_assert!(err.is_none());
+            let abstract_str = ret_to_string(&desc, &aret);
+            prop_assert_eq!(&concrete, &abstract_str, "spec/impl divergence on {:?}", op);
+        }
+    }
+}
+
+/// Mirror `exec`'s formatting for abstract results so both sides compare.
+fn ret_to_string(op: &atomfs_trace::OpDesc, ret: &atomfs_trace::OpRet) -> String {
+    use atomfs_trace::{OpDesc, OpRet};
+    match (op, ret) {
+        (_, OpRet::Err(e)) => format!("Err({e:?})"),
+        (OpDesc::Stat { .. }, OpRet::Stat(s)) => {
+            let ft = if s.is_dir {
+                FileType::Dir
+            } else {
+                FileType::File
+            };
+            format!("Ok(({ft:?}, {}))", s.size)
+        }
+        (OpDesc::Readdir { .. }, OpRet::Names(n)) => format!("Ok({n:?})"),
+        (OpDesc::Read { .. }, OpRet::Data(d)) => format!("Ok({d:?})"),
+        (OpDesc::Write { .. }, OpRet::Written(n)) => format!("Ok({n})"),
+        (_, OpRet::Ok) => "Ok(())".to_string(),
+        other => format!("unexpected {other:?}"),
+    }
+}
+
+fn desc_of(op: &Op) -> atomfs_trace::OpDesc {
+    use atomfs_trace::OpDesc;
+    let comps = |d: u8, n: u8| normalize(&path(d, n)).unwrap();
+    match op {
+        Op::Mknod(d, n) => OpDesc::Mknod {
+            path: comps(*d, *n),
+        },
+        Op::Mkdir(d, n) => OpDesc::Mkdir {
+            path: comps(*d, *n),
+        },
+        Op::Unlink(d, n) => OpDesc::Unlink {
+            path: comps(*d, *n),
+        },
+        Op::Rmdir(d, n) => OpDesc::Rmdir {
+            path: comps(*d, *n),
+        },
+        Op::Rename(a, b, c, d) => OpDesc::Rename {
+            src: comps(*a, *b),
+            dst: comps(*c, *d),
+        },
+        Op::Write(d, n, k) => OpDesc::Write {
+            path: comps(*d, *n),
+            offset: u64::from(*k % 16),
+            data: vec![*k; 5],
+        },
+        Op::Truncate(d, n, k) => OpDesc::Truncate {
+            path: comps(*d, *n),
+            size: u64::from(*k % 32),
+        },
+        Op::Stat(d, n) => OpDesc::Stat {
+            path: comps(*d, *n),
+        },
+        Op::Readdir(d) => OpDesc::Readdir {
+            path: normalize(&dirpath(*d)).unwrap(),
+        },
+        Op::Read(d, n, k) => OpDesc::Read {
+            path: comps(*d, *n),
+            offset: u64::from(*k % 8),
+            len: usize::from(*k % 16) + 1,
+        },
+    }
+}
