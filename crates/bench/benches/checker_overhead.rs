@@ -12,7 +12,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use atomfs::AtomFs;
-use atomfs_trace::{BufferSink, Event, NullSink, TraceSink};
+use atomfs_trace::{BufferSink, Event, NullSink, ShardedSink, TraceSink};
 use atomfs_vfs::FileSystem;
 use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence};
 
@@ -51,6 +51,25 @@ fn bench_instrumentation(c: &mut Criterion) {
                 // Keep the buffer bounded so allocation noise stays flat.
                 if sink.len() > 100_000 {
                     sink.take();
+                }
+            })
+        });
+    }
+    {
+        let sink = Arc::new(ShardedSink::new());
+        let fs = AtomFs::traced(sink.clone() as Arc<dyn TraceSink>);
+        fs.mkdir("/d").unwrap();
+        let mut round = 0;
+        // Single-threaded: measures the stamp + uncontended shard-lock
+        // cost against buffer_sink's plain mutex push. Drains via
+        // take_stamped — the recorder's native output, what
+        // LpChecker::check_stamped consumes — which, like BufferSink's
+        // take, moves segments out without a per-event transform.
+        group.bench_function("sharded_sink", |b| {
+            b.iter(|| {
+                ops_round(&fs, &mut round);
+                if sink.len() > 100_000 {
+                    sink.take_stamped();
                 }
             })
         });

@@ -6,7 +6,9 @@
 //! * `fig11_scalability` — Figure 11(a)/(b), Filebench speedups;
 //! * `interdep_study` — the §3.2 path inter-dependency study;
 //! * `conformance` — the xfstests analog (§6's 418/451 scorecard);
-//! * `loc_table` — the Table 2 inventory.
+//! * `loc_table` — the Table 2 inventory;
+//! * `trace_throughput` — recorder scaling (mutex vs sharded stamping),
+//!   emits `BENCH_trace.json`.
 //!
 //! Criterion micro/ablation benchmarks live in `benches/`.
 

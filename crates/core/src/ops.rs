@@ -34,7 +34,13 @@ use crate::walk::Locked;
 impl AtomFs {
     /// Emit the failure LP at the current decision point, release every
     /// held lock, and propagate the error.
-    fn fail(&self, tid: Tid, err: FsError, held: Vec<Locked>) -> FsError {
+    ///
+    /// Takes any iterator of held locks so the common one- and two-lock
+    /// failure paths pass a stack array instead of heap-allocating a
+    /// `Vec` — failures are routine under the contended mixes the
+    /// scalability experiments run (EEXIST/ENOENT are expected results),
+    /// so this path is hot.
+    fn fail(&self, tid: Tid, err: FsError, held: impl IntoIterator<Item = Locked>) -> FsError {
         self.emit(|| Event::Lp { tid });
         for l in held {
             self.unlock(tid, l);
@@ -81,16 +87,16 @@ impl AtomFs {
         };
         let mut p = self
             .walk(tid, parent, PathTag::Common)
-            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+            .map_err(|(e, held)| self.fail(tid, e, [held]))?;
         if p.as_dir().is_err() {
-            return Err(self.fail(tid, FsError::NotDir, vec![p]));
+            return Err(self.fail(tid, FsError::NotDir, [p]));
         }
         if p.as_dir().expect("checked").lookup(name).is_some() {
-            return Err(self.fail(tid, FsError::Exists, vec![p]));
+            return Err(self.fail(tid, FsError::Exists, [p]));
         }
         let (ino, _iref) = match self.table.alloc(ftype) {
             Ok(x) => x,
-            Err(e) => return Err(self.fail(tid, e, vec![p])),
+            Err(e) => return Err(self.fail(tid, e, [p])),
         };
         self.emit(|| Event::Mutate {
             tid,
@@ -152,12 +158,12 @@ impl AtomFs {
         };
         let mut p = self
             .walk(tid, parent, PathTag::Common)
-            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+            .map_err(|(e, held)| self.fail(tid, e, [held]))?;
         if p.as_dir().is_err() {
-            return Err(self.fail(tid, FsError::NotDir, vec![p]));
+            return Err(self.fail(tid, FsError::NotDir, [p]));
         }
         let Some(child_ino) = p.as_dir().expect("checked").lookup(name) else {
-            return Err(self.fail(tid, FsError::NotFound, vec![p]));
+            return Err(self.fail(tid, FsError::NotFound, [p]));
         };
         let child_ref = self
             .table
@@ -167,13 +173,13 @@ impl AtomFs {
         let mut c = self.lock_inode(tid, child_ino, &child_ref, PathTag::Common);
         let cftype = c.ftype();
         if want_dir && cftype == FileType::File {
-            return Err(self.fail(tid, FsError::NotDir, vec![c, p]));
+            return Err(self.fail(tid, FsError::NotDir, [c, p]));
         }
         if !want_dir && cftype == FileType::Dir {
-            return Err(self.fail(tid, FsError::IsDir, vec![c, p]));
+            return Err(self.fail(tid, FsError::IsDir, [c, p]));
         }
         if want_dir && !c.as_dir().expect("checked").is_empty() {
-            return Err(self.fail(tid, FsError::NotEmpty, vec![c, p]));
+            return Err(self.fail(tid, FsError::NotEmpty, [c, p]));
         }
         let pino = p.ino;
         let removed = p
@@ -243,13 +249,13 @@ impl AtomFs {
             // POSIX: renaming a path to itself succeeds iff it exists.
             let p = self
                 .walk(tid, sp, PathTag::Common)
-                .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+                .map_err(|(e, held)| self.fail(tid, e, [held]))?;
             let exists = match p.as_dir() {
                 Ok(d) => d.lookup(sn).is_some(),
-                Err(e) => return Err(self.fail(tid, e, vec![p])),
+                Err(e) => return Err(self.fail(tid, e, [p])),
             };
             if !exists {
-                return Err(self.fail(tid, FsError::NotFound, vec![p]));
+                return Err(self.fail(tid, FsError::NotFound, [p]));
             }
             self.emit(|| Event::Lp { tid });
             self.unlock(tid, p);
@@ -260,7 +266,7 @@ impl AtomFs {
         let clen = sp.iter().zip(dp.iter()).take_while(|(a, b)| a == b).count();
         let common = self
             .walk(tid, &sp[..clen], PathTag::Common)
-            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+            .map_err(|(e, held)| self.fail(tid, e, [held]))?;
 
         // Phase 2: walk both branches while `common` stays locked.
         let send = match self.branch_walk(tid, &common, &sp[clen..], PathTag::Src) {
@@ -456,14 +462,14 @@ impl AtomFs {
     ) -> FsResult<T> {
         let mut node = self
             .walk(tid, comps, PathTag::Common)
-            .map_err(|(e, held)| self.fail(tid, e, vec![held]))?;
+            .map_err(|(e, held)| self.fail(tid, e, [held]))?;
         match f(&mut node) {
             Ok(v) => {
                 self.emit(|| Event::Lp { tid });
                 self.unlock(tid, node);
                 Ok(v)
             }
-            Err(e) => Err(self.fail(tid, e, vec![node])),
+            Err(e) => Err(self.fail(tid, e, [node])),
         }
     }
 }

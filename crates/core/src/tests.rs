@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use atomfs_trace::{BufferSink, Event};
+use atomfs_trace::{BufferSink, Event, FanoutSink, ShardedSink};
 use atomfs_vfs::fs::FileSystemExt;
 use atomfs_vfs::{FileSystem, FileType, FsError};
 
@@ -491,6 +491,47 @@ mod tracing {
         let fs = AtomFs::new();
         assert!(!fs.is_traced());
         fs.mkdir("/a").unwrap();
+    }
+
+    #[test]
+    fn sharded_sink_records_same_protocol_shape() {
+        let sink = Arc::new(ShardedSink::new());
+        let fs = AtomFs::traced(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
+        fs.mkdir("/a").unwrap();
+        let events = sink.take();
+        assert!(matches!(events[0], Event::OpBegin { .. }));
+        assert!(matches!(events[1], Event::Lock { ino: ROOT_INUM, .. }));
+        assert!(matches!(&events[2], Event::Mutate { mop, .. }
+            if matches!(mop, atomfs_trace::MicroOp::Create { .. })));
+        assert!(matches!(&events[3], Event::Mutate { mop, .. }
+            if matches!(mop, atomfs_trace::MicroOp::Ins { .. })));
+        assert!(matches!(events[4], Event::Lp { .. }));
+        assert!(matches!(events[5], Event::Unlock { ino: ROOT_INUM, .. }));
+        assert!(matches!(events[6], Event::OpEnd { .. }));
+        assert_eq!(events.len(), 7);
+    }
+
+    /// Fan the same execution into both recorders: the sharded merge must
+    /// reproduce the reference `BufferSink` order exactly (single thread,
+    /// so the total order is unambiguous).
+    #[test]
+    fn sharded_take_matches_buffer_take_single_thread() {
+        let buffer = Arc::new(BufferSink::new());
+        let sharded = Arc::new(ShardedSink::new());
+        let fanout = FanoutSink(vec![
+            Arc::clone(&buffer) as Arc<dyn atomfs_trace::TraceSink>,
+            Arc::clone(&sharded) as Arc<dyn atomfs_trace::TraceSink>,
+        ]);
+        let fs = AtomFs::traced(Arc::new(fanout) as Arc<dyn atomfs_trace::TraceSink>);
+        fs.mkdir("/a").unwrap();
+        fs.mknod("/a/f").unwrap();
+        fs.write("/a/f", 0, b"payload").unwrap();
+        fs.rename("/a/f", "/a/g").unwrap();
+        let _ = fs.stat("/missing");
+        fs.unlink("/a/g").unwrap();
+        assert_eq!(buffer.len(), sharded.len());
+        assert_eq!(buffer.take(), sharded.take());
+        assert!(sharded.is_empty());
     }
 }
 

@@ -285,6 +285,31 @@ impl LpChecker {
         }
     }
 
+    /// Process a sequence-stamped trace (e.g. from
+    /// `atomfs_trace::ShardedSink::take_stamped`), additionally checking
+    /// that stamps are strictly increasing — the merged trace must be
+    /// presented in the total order the stamps define, otherwise the
+    /// recorder (or a lossy merge) broke the legal-total-order contract
+    /// and every later verdict would be about the wrong interleaving.
+    pub fn feed_all_stamped(&mut self, events: &[(u64, Event)]) {
+        let mut prev: Option<u64> = None;
+        for (stamp, e) in events {
+            if let Some(p) = prev {
+                if *stamp <= p {
+                    self.flag(
+                        ViolationKind::Protocol,
+                        format!(
+                            "sequence stamp {stamp} follows {p}: merged trace is not in \
+                             stamp order"
+                        ),
+                    );
+                }
+            }
+            prev = Some(*stamp);
+            self.feed(e);
+        }
+    }
+
     /// Run the end-of-trace checks and produce the report.
     pub fn finish(mut self) -> CheckReport {
         for (tid, _) in self.pool.iter() {
@@ -315,6 +340,14 @@ impl LpChecker {
     pub fn check(cfg: CheckerConfig, events: &[Event]) -> CheckReport {
         let mut c = LpChecker::new(cfg);
         c.feed_all(events);
+        c.finish()
+    }
+
+    /// Convenience: check a complete sequence-stamped trace in one call,
+    /// including stamp monotonicity (see [`LpChecker::feed_all_stamped`]).
+    pub fn check_stamped(cfg: CheckerConfig, events: &[(u64, Event)]) -> CheckReport {
+        let mut c = LpChecker::new(cfg);
+        c.feed_all_stamped(events);
         c.finish()
     }
 
@@ -954,5 +987,52 @@ mod tests {
         let report = LpChecker::check(CheckerConfig::default(), &[]);
         report.assert_ok();
         assert_eq!(report.stats.ops_begun, 0);
+    }
+
+    #[test]
+    fn stamped_trace_requires_strictly_increasing_stamps() {
+        let ok_trace = vec![
+            (
+                3u64,
+                Event::OpBegin {
+                    tid: Tid(1),
+                    op: OpDesc::Stat {
+                        path: comps(&["missing"]),
+                    },
+                },
+            ),
+            (
+                7u64,
+                Event::Lock {
+                    tid: Tid(1),
+                    ino: 1,
+                    tag: PathTag::Common,
+                },
+            ),
+            (8u64, Event::Lp { tid: Tid(1) }),
+            (
+                9u64,
+                Event::Unlock {
+                    tid: Tid(1),
+                    ino: 1,
+                },
+            ),
+            (
+                12u64,
+                Event::OpEnd {
+                    tid: Tid(1),
+                    ret: OpRet::Err(atomfs_vfs::FsError::NotFound),
+                },
+            ),
+        ];
+        LpChecker::check_stamped(CheckerConfig::default(), &ok_trace).assert_ok();
+
+        // The same events with two stamps swapped out of order must flag
+        // a Protocol violation even though the event order is unchanged.
+        let mut bad = ok_trace;
+        bad[1].0 = 100;
+        let report = LpChecker::check_stamped(CheckerConfig::default(), &bad);
+        assert!(!report.is_ok());
+        assert!(!report.of_kind(ViolationKind::Protocol).is_empty());
     }
 }

@@ -47,6 +47,13 @@ impl TraceSink for OnlineChecker {
     fn emit(&self, event: Event) {
         self.inner.lock().feed(&event);
     }
+
+    /// The checker only inspects events, so borrowed emission (what a
+    /// [`atomfs_trace::FanoutSink`] routes to non-last sinks) costs no
+    /// clone at all.
+    fn emit_ref(&self, event: &Event) {
+        self.inner.lock().feed(event);
+    }
 }
 
 #[cfg(test)]

@@ -49,8 +49,15 @@ impl JournalSink {
 
 impl TraceSink for JournalSink {
     fn emit(&self, event: Event) {
+        self.emit_ref(&event);
+    }
+
+    /// The journal serializes the micro-op straight out of the borrowed
+    /// event, so fanning out to checker + journal never deep-clones the
+    /// event for the journal's sake.
+    fn emit_ref(&self, event: &Event) {
         if let Event::Mutate { mop, .. } = event {
-            self.journal.lock().append(&[mop]);
+            self.journal.lock().append(std::slice::from_ref(mop));
         }
     }
 }

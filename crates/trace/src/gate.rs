@@ -101,31 +101,42 @@ impl<S: TraceSink> GateSink<S> {
     }
 }
 
+impl<S: TraceSink> GateSink<S> {
+    /// Park the calling thread if `event` matches a registered unopened
+    /// gate; returns once the gate opens (or immediately on no match).
+    fn pass_gates(&self, event: &Event) {
+        let mut gates = self.gates.lock();
+        let hit = gates
+            .iter()
+            .position(|g| !g.hit && !g.open && (g.matcher)(event));
+        if let Some(i) = hit {
+            gates[i].hit = true;
+            gates[i].parked = true;
+            self.cv.notify_all();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while !gates[i].open {
+                if self.cv.wait_until(&mut gates, deadline).timed_out() {
+                    panic!("gate {i} never opened within 10s (test deadlock)");
+                }
+            }
+            gates[i].parked = false;
+            self.cv.notify_all();
+        }
+    }
+}
+
 impl<S: TraceSink> TraceSink for GateSink<S> {
     fn emit(&self, event: Event) {
-        {
-            let mut gates = self.gates.lock();
-            let hit = gates
-                .iter()
-                .position(|g| !g.hit && !g.open && (g.matcher)(&event));
-            if let Some(i) = hit {
-                gates[i].hit = true;
-                gates[i].parked = true;
-                self.cv.notify_all();
-                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-                while !gates[i].open {
-                    if self.cv.wait_until(&mut gates, deadline).timed_out() {
-                        panic!("gate {i} never opened within 10s (test deadlock)");
-                    }
-                }
-                gates[i].parked = false;
-                self.cv.notify_all();
-            }
-        }
+        self.pass_gates(&event);
         // The event is recorded only when the thread resumes: parking
         // happens *before* the matched step, so the trace order remains
         // the true order of atomic steps.
         self.inner.emit(event);
+    }
+
+    fn emit_ref(&self, event: &Event) {
+        self.pass_gates(event);
+        self.inner.emit_ref(event);
     }
 }
 
@@ -151,6 +162,21 @@ mod tests {
         sink.open(gate);
         h.join().unwrap();
         assert_eq!(sink.inner().len(), 3);
+    }
+
+    #[test]
+    fn gates_apply_to_borrowed_emissions_too() {
+        let sink = Arc::new(GateSink::new(BufferSink::new()));
+        let gate = sink.add_gate(|e| matches!(e, Event::Lp { tid } if *tid == Tid(9)));
+        let s2 = Arc::clone(&sink);
+        let h = std::thread::spawn(move || {
+            s2.emit_ref(&Event::Lp { tid: Tid(9) }); // parks here
+        });
+        sink.wait_parked(gate);
+        assert_eq!(sink.inner().len(), 0, "parking happens before recording");
+        sink.open(gate);
+        h.join().unwrap();
+        assert_eq!(sink.inner().len(), 1);
     }
 
     #[test]

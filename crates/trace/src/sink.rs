@@ -3,8 +3,11 @@
 //! A [`TraceSink`] receives the atomic steps of an instrumented execution.
 //! The default production configuration uses no sink at all (the emitting
 //! file system holds an `Option` and skips all instrumentation); tests and
-//! the CRL-H checker install a [`BufferSink`] (offline replay) or an online
-//! checking sink defined in the `crlh` crate.
+//! the CRL-H checker install a recorder ([`BufferSink`] or the sharded
+//! [`crate::ShardedSink`]) for offline replay, or an online checking sink
+//! defined in the `crlh` crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
@@ -15,11 +18,25 @@ use crate::Event;
 /// Implementations must be cheap and must not call back into the file
 /// system being traced. The emitter guarantees that `emit` is called at
 /// the atomic instant the event describes (e.g. while holding the lock a
-/// [`Event::Lock`] reports), so a sink that serializes its callers observes
-/// a legal total order of the execution.
+/// [`Event::Lock`] reports), so a sink that serializes its callers — or
+/// stamps each call from a single atomic counter, as
+/// [`crate::ShardedSink`] does — observes a legal total order of the
+/// execution.
 pub trait TraceSink: Send + Sync {
-    /// Record one event.
+    /// Record one event, taking ownership.
     fn emit(&self, event: Event);
+
+    /// Record one event by reference.
+    ///
+    /// Sinks that only *inspect* events (checkers, journals, filters)
+    /// override this to avoid a deep clone; recording sinks keep the
+    /// default, which clones into [`TraceSink::emit`]. [`FanoutSink`]
+    /// routes through this method for every sink but the last, so
+    /// multi-consumer setups pay at most one clone per extra *recording*
+    /// consumer instead of one per consumer.
+    fn emit_ref(&self, event: &Event) {
+        self.emit(event.clone());
+    }
 }
 
 /// A sink that discards everything (useful as an explicit default).
@@ -28,16 +45,25 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn emit(&self, _event: Event) {}
+    fn emit_ref(&self, _event: &Event) {}
 }
 
 /// A sink that appends events to an in-memory buffer under a mutex.
 ///
 /// The mutex both protects the buffer and serializes concurrent emitters,
 /// making the buffer order a legal total order of atomic steps — the input
-/// the offline CRL-H checker replays.
+/// the offline CRL-H checker replays. It is also a global serialization
+/// point: every emitting thread contends on the one lock, which is what
+/// [`crate::ShardedSink`] exists to avoid. `BufferSink` stays as the
+/// reference recorder; a differential test in `tests/trace_sharded.rs`
+/// pins the two recorders to order-equivalent traces.
+///
+/// [`BufferSink::len`]/[`BufferSink::is_empty`] read a relaxed atomic
+/// counter, so progress polling never touches the buffer mutex.
 #[derive(Debug, Default)]
 pub struct BufferSink {
     events: Mutex<Vec<Event>>,
+    count: AtomicUsize,
 }
 
 impl BufferSink {
@@ -46,19 +72,22 @@ impl BufferSink {
         Self::default()
     }
 
-    /// Number of events recorded so far.
+    /// Number of events recorded so far (O(1), lock-free).
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.count.load(Ordering::Relaxed)
     }
 
-    /// Whether no events have been recorded.
+    /// Whether no events have been recorded (O(1), lock-free).
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.len() == 0
     }
 
     /// Take the recorded events, leaving the buffer empty.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.lock())
+        let mut guard = self.events.lock();
+        let events = std::mem::take(&mut *guard);
+        self.count.store(0, Ordering::Relaxed);
+        events
     }
 
     /// Clone the recorded events without clearing the buffer.
@@ -69,14 +98,20 @@ impl BufferSink {
 
 impl TraceSink for BufferSink {
     fn emit(&self, event: Event) {
-        self.events.lock().push(event);
+        let mut guard = self.events.lock();
+        guard.push(event);
+        self.count.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// A sink that forwards every event to several sinks, in order.
 ///
 /// Lets one instrumented file system feed both a checker/recorder and an
-/// operation journal at the same time.
+/// operation journal at the same time. Events are routed by reference
+/// ([`TraceSink::emit_ref`]) to every sink but the last, which receives
+/// the owned event — so inspecting consumers (checker, journal) cost no
+/// clone at all, and the single owned event should go to the recording
+/// sink by placing it last.
 pub struct FanoutSink(pub Vec<std::sync::Arc<dyn TraceSink>>);
 
 impl TraceSink for FanoutSink {
@@ -85,9 +120,15 @@ impl TraceSink for FanoutSink {
             return;
         };
         for sink in rest {
-            sink.emit(event.clone());
+            sink.emit_ref(&event);
         }
         last.emit(event);
+    }
+
+    fn emit_ref(&self, event: &Event) {
+        for sink in &self.0 {
+            sink.emit_ref(event);
+        }
     }
 }
 
@@ -134,6 +175,7 @@ mod tests {
             tid: Tid(0),
             op: OpDesc::Stat { path: vec![] },
         });
+        sink.emit_ref(&Event::Lp { tid: Tid(0) });
         // Nothing to observe — the point is it compiles and is free.
     }
 
@@ -143,5 +185,38 @@ mod tests {
         sink.emit(Event::Lp { tid: Tid(1) });
         assert_eq!(sink.snapshot().len(), 1);
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_take_and_emit() {
+        let sink = BufferSink::new();
+        assert!(sink.is_empty());
+        sink.emit(Event::Lp { tid: Tid(1) });
+        sink.emit_ref(&Event::Lp { tid: Tid(2) });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.take().len(), 2);
+        assert_eq!(sink.len(), 0);
+        sink.emit(Event::Lp { tid: Tid(3) });
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn fanout_delivers_to_all_sinks() {
+        let a = Arc::new(BufferSink::new());
+        let b = Arc::new(BufferSink::new());
+        let fan = FanoutSink(vec![
+            Arc::clone(&a) as Arc<dyn TraceSink>,
+            Arc::clone(&b) as Arc<dyn TraceSink>,
+        ]);
+        fan.emit(Event::Lp { tid: Tid(1) });
+        fan.emit_ref(&Event::Lp { tid: Tid(2) });
+        assert_eq!(a.take(), b.take());
+    }
+
+    #[test]
+    fn empty_fanout_is_fine() {
+        let fan = FanoutSink(Vec::new());
+        fan.emit(Event::Lp { tid: Tid(1) });
+        fan.emit_ref(&Event::Lp { tid: Tid(1) });
     }
 }
