@@ -61,13 +61,13 @@ fn bench_append_commit(c: &mut Criterion) {
     group.throughput(Throughput::Elements(batch.len() as u64));
     group.bench_function("append_batch_of_8", |b| {
         let mut j = Journal::create(Arc::new(Disk::new()));
-        b.iter(|| black_box(j.append(&batch)));
+        b.iter(|| black_box(j.append(&batch).unwrap()));
     });
     group.bench_function("append_and_commit", |b| {
         let mut j = Journal::create(Arc::new(Disk::new()));
         b.iter(|| {
-            j.append(&batch);
-            j.commit();
+            j.append(&batch).unwrap();
+            j.commit().unwrap();
         });
     });
     group.finish();
@@ -77,7 +77,7 @@ fn bench_recovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("recovery_scan");
     for records in [100usize, 1000, 10_000] {
         let disk = Arc::new(Disk::new());
-        let mut j = Journal::create(Arc::clone(&disk));
+        let mut j = Journal::create(Arc::clone(&disk) as Arc<dyn atomfs_journal::BlockDevice>);
         for i in 0..records {
             j.append(&[
                 MicroOp::Create {
@@ -89,9 +89,10 @@ fn bench_recovery(c: &mut Criterion) {
                     name: format!("f{i}"),
                     child: 100 + i as u64,
                 },
-            ]);
+            ])
+            .unwrap();
         }
-        j.commit();
+        j.commit().unwrap();
         group.throughput(Throughput::Elements(records as u64));
         group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
             b.iter(|| {

@@ -6,10 +6,77 @@
 //! writes, modelling a drive that persisted some queued writes out of
 //! order before power was lost (the adversarial reordering that journal
 //! checksums exist to survive).
+//!
+//! The journal writes through the fallible [`BlockDevice`] trait rather
+//! than `Disk` directly, so a [`crate::faults::FaultyDisk`] can sit in
+//! between and inject errors; `Disk` itself is the perfect device whose
+//! trait impl never fails.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use parking_lot::Mutex;
+
+/// Which device operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskOp {
+    /// A sector read.
+    Read,
+    /// A sector write.
+    Write,
+    /// A flush barrier.
+    Flush,
+}
+
+/// Why a device operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskError {
+    /// The operation failed this time but may succeed if retried
+    /// (a bus hiccup, a recoverable media error).
+    Transient(DiskOp),
+    /// The device has failed permanently; every future operation fails.
+    Gone,
+}
+
+impl DiskError {
+    /// Whether retrying the operation can possibly succeed.
+    pub fn is_transient(self) -> bool {
+        matches!(self, DiskError::Transient(_))
+    }
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Transient(op) => write!(f, "transient {op:?} failure"),
+            DiskError::Gone => write!(f, "device failed permanently"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// At the [`atomfs_vfs::FileSystem`] boundary every device error that
+/// defeated the retry policy surfaces as `EIO`, like a kernel FS would
+/// report an exhausted block-layer retry.
+impl From<DiskError> for atomfs_vfs::FsError {
+    fn from(_: DiskError) -> Self {
+        atomfs_vfs::FsError::Io
+    }
+}
+
+/// The fallible storage interface the journal writes through.
+///
+/// [`Disk`] implements it infallibly; [`crate::faults::FaultyDisk`]
+/// implements it with seeded fault injection.
+pub trait BlockDevice: Send + Sync {
+    /// Read sector `lba` (unwritten sectors read as zeroes).
+    fn read(&self, lba: u64) -> Result<Sector, DiskError>;
+    /// Write sector `lba` into the volatile cache.
+    fn write(&self, lba: u64, data: &Sector) -> Result<(), DiskError>;
+    /// Write barrier: make everything written so far durable.
+    fn flush(&self) -> Result<(), DiskError>;
+}
 
 /// Bytes per sector.
 pub const SECTOR_SIZE: usize = 512;
@@ -90,6 +157,36 @@ impl Disk {
     pub fn flush_count(&self) -> u64 {
         self.state.lock().flushes
     }
+
+    /// Fault-injection hook: XOR `mask` into byte `byte` of the *durable*
+    /// copy of sector `lba`, modelling silent media corruption (bit rot).
+    /// Volatile (unflushed) writes of the sector are unaffected and still
+    /// win on read, exactly like a real drive's cache would.
+    pub fn corrupt_durable(&self, lba: u64, byte: usize, mask: u8) {
+        let mut st = self.state.lock();
+        let sector = st.durable.entry(lba).or_insert([0u8; SECTOR_SIZE]);
+        sector[byte % SECTOR_SIZE] ^= mask;
+    }
+
+    /// The highest LBA that currently holds durable data, if any.
+    pub fn max_durable_lba(&self) -> Option<u64> {
+        self.state.lock().durable.keys().copied().max()
+    }
+}
+
+/// The perfect device: every operation succeeds.
+impl BlockDevice for Disk {
+    fn read(&self, lba: u64) -> Result<Sector, DiskError> {
+        Ok(Disk::read(self, lba))
+    }
+    fn write(&self, lba: u64, data: &Sector) -> Result<(), DiskError> {
+        Disk::write(self, lba, data);
+        Ok(())
+    }
+    fn flush(&self) -> Result<(), DiskError> {
+        Disk::flush(self);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +237,27 @@ mod tests {
         assert_eq!(d.read(5), sect(2));
         d.flush();
         assert_eq!(d.read(5), sect(2));
+    }
+
+    #[test]
+    fn corrupt_durable_flips_bits_silently() {
+        let d = Disk::new();
+        d.write(2, &sect(0xF0));
+        d.flush();
+        d.corrupt_durable(2, 10, 0x01);
+        let mut expect = sect(0xF0);
+        expect[10] ^= 0x01;
+        assert_eq!(d.read(2), expect);
+        assert_eq!(d.max_durable_lba(), Some(2));
+    }
+
+    #[test]
+    fn block_device_impl_is_infallible() {
+        let d = Disk::new();
+        let dev: &dyn BlockDevice = &d;
+        dev.write(1, &sect(9)).unwrap();
+        assert_eq!(dev.read(1).unwrap(), sect(9));
+        dev.flush().unwrap();
     }
 
     #[test]

@@ -6,44 +6,101 @@
 //! (the same order the CRL-H shadow state replays, so the log always
 //! replays cleanly). `sync()` is the durability barrier.
 //!
+//! The write path is fallible: when the device defeats the journal's
+//! retry policy the mount flips to read-only **degraded mode** — reads
+//! keep serving from the in-memory AtomFS, mutations return
+//! [`FsError::ReadOnly`] *before* touching AtomFS (so the trace the
+//! CRL-H checker sees stays exactly the trace of the mutations that
+//! happened), and `sync()` reports the failure so callers never treat
+//! non-durable data as acked. [`JournaledFs::health`] exposes the state.
+//!
 //! [`JournaledFs::recover`] implements the crash path: scan the log,
 //! replay the surviving prefix into an abstract state, and *materialize*
 //! that state through a fresh instrumented AtomFS — whose mutations,
 //! logged under a higher epoch, become the new generation's checkpoint.
 //! Recovery therefore doubles as log compaction.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use atomfs::AtomFs;
-use atomfs_trace::{Event, MicroOp, TraceSink};
+use atomfs_trace::{Event, FanoutSink, MicroOp, TraceSink};
 use atomfs_vfs::fs::FileSystemExt;
 use atomfs_vfs::{FileSystem, FsError, FsResult, Metadata};
 use parking_lot::Mutex;
 
-use crate::device::Disk;
-use crate::journal::{recover, Journal};
+use crate::device::{BlockDevice, Disk, DiskError};
+use crate::health::{Health, HealthCounters, HealthReport, RetryPolicy};
+use crate::journal::{recover, Journal, SkippedRecord};
 
-/// Trace sink that appends every mutation to the journal.
+/// Trace sink that appends every mutation to the journal, degrading the
+/// mount instead of panicking when the device defeats the retry policy.
 pub struct JournalSink {
     journal: Mutex<Journal>,
+    health: Mutex<Health>,
+    counters: Arc<HealthCounters>,
+    /// Mutation events that arrived while already degraded (the FS above
+    /// should be refusing mutations by then, so this staying 0 is itself
+    /// a checked invariant of the degraded-mode tests).
+    dropped: AtomicU64,
 }
 
 impl JournalSink {
     /// Wrap a journal writer.
     pub fn new(journal: Journal) -> Self {
+        let counters = journal.counters();
         JournalSink {
             journal: Mutex::new(journal),
+            health: Mutex::new(Health::Healthy),
+            counters,
+            dropped: AtomicU64::new(0),
         }
     }
 
-    /// Durability barrier.
-    pub fn sync(&self) {
-        self.journal.lock().commit();
+    /// Durability barrier. Errors when the mount is (or just became)
+    /// degraded: an `Err` here means *nothing since the last `Ok` sync
+    /// is guaranteed durable*, so callers must not ack that data.
+    pub fn sync(&self) -> Result<(), DiskError> {
+        if let Health::Degraded { cause, .. } = *self.health.lock() {
+            return Err(cause);
+        }
+        let result = self.journal.lock().commit();
+        if let Err(cause) = result {
+            let failed_at_seq = self.journal.lock().next_seq();
+            self.degrade(cause, failed_at_seq);
+        }
+        result
+    }
+
+    /// Current mount health.
+    pub fn health(&self) -> Health {
+        *self.health.lock()
+    }
+
+    /// Health plus the fault/retry counters behind it.
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport {
+            health: self.health(),
+            device_faults: self.counters.device_faults(),
+            retries: self.counters.retries(),
+            dropped_events: self.dropped.load(Ordering::Relaxed),
+        }
     }
 
     /// Bytes appended to the log so far.
     pub fn log_bytes(&self) -> u64 {
         self.journal.lock().position()
+    }
+
+    fn degrade(&self, cause: DiskError, failed_at_seq: u64) {
+        let mut health = self.health.lock();
+        // First failure wins: keep the original cause for the report.
+        if !health.is_degraded() {
+            *health = Health::Degraded {
+                cause,
+                failed_at_seq,
+            };
+        }
     }
 }
 
@@ -57,13 +114,26 @@ impl TraceSink for JournalSink {
     /// event for the journal's sake.
     fn emit_ref(&self, event: &Event) {
         if let Event::Mutate { mop, .. } = event {
-            self.journal.lock().append(std::slice::from_ref(mop));
+            if self.health.lock().is_degraded() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let result = {
+                let mut journal = self.journal.lock();
+                let at_seq = journal.next_seq();
+                journal
+                    .append(std::slice::from_ref(mop))
+                    .map_err(|e| (e, at_seq))
+            };
+            if let Err((cause, failed_at_seq)) = result {
+                self.degrade(cause, failed_at_seq);
+            }
         }
     }
 }
 
 /// Statistics from a recovery.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RecoveryStats {
     /// Log generation recovered from.
     pub epoch: u64,
@@ -73,6 +143,9 @@ pub struct RecoveryStats {
     pub log_bytes: u64,
     /// Live inodes in the recovered tree (including the root).
     pub inodes: usize,
+    /// Records past the replayed prefix that the recovery scrub refused,
+    /// itemized with offset and classification (empty for a clean log).
+    pub skipped: Vec<SkippedRecord>,
 }
 
 /// AtomFS with an operation log under it.
@@ -82,15 +155,38 @@ pub struct JournaledFs {
 }
 
 impl JournaledFs {
-    /// Format `disk` with a fresh (epoch-1) log and mount an empty
+    /// Format `device` with a fresh (epoch-1) log and mount an empty
     /// file system over it.
-    pub fn create(disk: Arc<Disk>) -> Self {
-        Self::with_journal(Journal::create(disk))
+    pub fn create(device: Arc<dyn BlockDevice>) -> Self {
+        Self::create_with(device, RetryPolicy::default())
     }
 
-    fn with_journal(journal: Journal) -> Self {
+    /// [`JournaledFs::create`] with an explicit retry policy.
+    pub fn create_with(device: Arc<dyn BlockDevice>, policy: RetryPolicy) -> Self {
+        Self::with_journal(Journal::create_with(device, 1, policy), None)
+    }
+
+    /// [`JournaledFs::create_with`] plus an extra trace sink observing
+    /// the same event stream the journal logs — this is how the fault
+    /// tests keep the CRL-H checker watching a mount that may degrade.
+    pub fn create_observed(
+        device: Arc<dyn BlockDevice>,
+        policy: RetryPolicy,
+        observer: Arc<dyn TraceSink>,
+    ) -> Self {
+        Self::with_journal(Journal::create_with(device, 1, policy), Some(observer))
+    }
+
+    fn with_journal(journal: Journal, observer: Option<Arc<dyn TraceSink>>) -> Self {
         let sink = Arc::new(JournalSink::new(journal));
-        let fs = Arc::new(AtomFs::traced(Arc::clone(&sink) as Arc<dyn TraceSink>));
+        let tap: Arc<dyn TraceSink> = match observer {
+            None => Arc::clone(&sink) as Arc<dyn TraceSink>,
+            Some(observer) => Arc::new(FanoutSink(vec![
+                Arc::clone(&sink) as Arc<dyn TraceSink>,
+                observer,
+            ])),
+        };
+        let fs = Arc::new(AtomFs::traced(tap));
         JournaledFs { fs, sink }
     }
 
@@ -103,6 +199,24 @@ impl JournaledFs {
     /// for logs this crate wrote, so it indicates a foreign or tampered
     /// disk.
     pub fn recover(disk: Arc<Disk>) -> FsResult<(Self, RecoveryStats)> {
+        let device = Arc::clone(&disk) as Arc<dyn BlockDevice>;
+        Self::recover_with(disk, device, RetryPolicy::default())
+    }
+
+    /// [`JournaledFs::recover`] writing the new generation's checkpoint
+    /// through `device` (which may be fault-injected) under `policy`.
+    /// The *scan* always reads the raw platter: recovery models a fresh
+    /// power session, so the previous session's fault plan is gone while
+    /// the corruption it left behind is exactly what the scrub reports.
+    ///
+    /// If the device defeats the checkpoint, the mount comes up already
+    /// degraded — readable, refusing mutations, acking nothing — rather
+    /// than failing the recovery.
+    pub fn recover_with(
+        disk: Arc<Disk>,
+        device: Arc<dyn BlockDevice>,
+        policy: RetryPolicy,
+    ) -> FsResult<(Self, RecoveryStats)> {
         let recovered = recover(&disk);
         let state = recovered.replay().map_err(|_| FsError::InvalidArgument)?;
         let stats = RecoveryStats {
@@ -110,11 +224,14 @@ impl JournaledFs {
             ops_replayed: recovered.ops().count(),
             log_bytes: recovered.end_pos,
             inodes: state.map.len(),
+            skipped: recovered.skipped.clone(),
         };
-        let journal = Journal::create_epoch(disk, recovered.epoch + 1);
-        let journaled = Self::with_journal(journal);
+        let journal = Journal::create_with(device, recovered.epoch + 1, policy);
+        let journaled = Self::with_journal(journal, None);
         materialize(&*journaled.fs, &state)?;
-        journaled.sink.sync();
+        // Checkpoint barrier. On failure the sink has already flipped to
+        // degraded: the mount is served from memory and acks nothing.
+        let _ = journaled.sink.sync();
         Ok((journaled, stats))
     }
 
@@ -123,9 +240,29 @@ impl JournaledFs {
         &self.fs
     }
 
+    /// Current storage health of the mount.
+    pub fn health(&self) -> Health {
+        self.sink.health()
+    }
+
+    /// Health plus fault/retry counters.
+    pub fn health_report(&self) -> HealthReport {
+        self.sink.health_report()
+    }
+
     /// Bytes in the current log generation.
     pub fn log_bytes(&self) -> u64 {
         self.sink.log_bytes()
+    }
+
+    /// Refuse mutations on a degraded mount *before* they reach AtomFS,
+    /// so the in-memory tree (and the trace the checker replays) only
+    /// ever contains mutations the journal accepted for logging.
+    fn guard_writable(&self) -> FsResult<()> {
+        if self.sink.health().is_degraded() {
+            return Err(FsError::ReadOnly);
+        }
+        Ok(())
     }
 }
 
@@ -134,18 +271,23 @@ impl FileSystem for JournaledFs {
         "atomfs-journaled"
     }
     fn mknod(&self, path: &str) -> FsResult<()> {
+        self.guard_writable()?;
         self.fs.mknod(path)
     }
     fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.guard_writable()?;
         self.fs.mkdir(path)
     }
     fn unlink(&self, path: &str) -> FsResult<()> {
+        self.guard_writable()?;
         self.fs.unlink(path)
     }
     fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.guard_writable()?;
         self.fs.rmdir(path)
     }
     fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        self.guard_writable()?;
         self.fs.rename(src, dst)
     }
     fn stat(&self, path: &str) -> FsResult<Metadata> {
@@ -158,50 +300,54 @@ impl FileSystem for JournaledFs {
         self.fs.read(path, offset, buf)
     }
     fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.guard_writable()?;
         self.fs.write(path, offset, data)
     }
     fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        self.guard_writable()?;
         self.fs.truncate(path, size)
     }
     /// The durability barrier: everything before this call survives a
     /// crash; everything after may be lost (but never torn — recovery
-    /// yields a prefix).
+    /// yields a prefix). Exhausted retries surface as [`FsError::Io`]
+    /// and flip the mount to degraded mode.
     fn sync(&self) -> FsResult<()> {
-        self.sink.sync();
-        Ok(())
+        self.sink.sync().map_err(FsError::from)
     }
 }
 
-/// Rebuild a live file system from an abstract state: depth-first create
-/// every directory and file and write every file's contents.
+/// Rebuild a live file system from an abstract state: create every
+/// directory and file and write every file's contents, parents before
+/// children. Iterative (an explicit worklist), so a pathologically deep
+/// recovered tree cannot overflow the stack.
 pub fn materialize(fs: &dyn FileSystem, state: &crlh::FsState) -> FsResult<()> {
-    fn walk(
-        fs: &dyn FileSystem,
-        state: &crlh::FsState,
-        id: atomfs_trace::Inum,
-        path: &str,
-    ) -> FsResult<()> {
-        match state.node(id) {
-            Some(crlh::Node::Dir(entries)) => {
-                for (name, child) in entries {
-                    let child_path = atomfs_vfs::path::join(path, name);
-                    match state.node(*child) {
-                        Some(crlh::Node::Dir(_)) => {
-                            fs.mkdir(&child_path)?;
-                            walk(fs, state, *child, &child_path)?;
-                        }
-                        Some(crlh::Node::File(data)) => {
-                            fs.write_file(&child_path, data)?;
-                        }
-                        None => return Err(FsError::InvalidArgument),
-                    }
+    let mut work: Vec<(atomfs_trace::Inum, String)> = Vec::new();
+    match state.node(state.root) {
+        Some(crlh::Node::Dir(_)) => work.push((state.root, "/".to_string())),
+        _ => return Err(FsError::NotDir),
+    }
+    while let Some((id, path)) = work.pop() {
+        let entries = match state.node(id) {
+            Some(crlh::Node::Dir(entries)) => entries,
+            _ => return Err(FsError::NotDir),
+        };
+        for (name, child) in entries {
+            let child_path = atomfs_vfs::path::join(&path, name);
+            match state.node(*child) {
+                Some(crlh::Node::Dir(_)) => {
+                    // mkdir now, descend later: every directory exists
+                    // before anything is created inside it.
+                    fs.mkdir(&child_path)?;
+                    work.push((*child, child_path));
                 }
-                Ok(())
+                Some(crlh::Node::File(data)) => {
+                    fs.write_file(&child_path, data)?;
+                }
+                None => return Err(FsError::InvalidArgument),
             }
-            _ => Err(FsError::NotDir),
         }
     }
-    walk(fs, state, state.root, "/")
+    Ok(())
 }
 
 /// Extract just the mutation stream from a recorded trace (used by the
@@ -219,11 +365,12 @@ pub fn mutations_of(events: &[Event]) -> Vec<MicroOp> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultyDisk};
 
     #[test]
     fn create_sync_recover_roundtrip() {
         let disk = Arc::new(Disk::new());
-        let jfs = JournaledFs::create(Arc::clone(&disk));
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         jfs.mkdir("/docs").unwrap();
         jfs.mknod("/docs/a").unwrap();
         jfs.write("/docs/a", 0, b"durable").unwrap();
@@ -236,12 +383,13 @@ mod tests {
         assert_eq!(stats.epoch, 1);
         assert!(stats.ops_replayed >= 3);
         assert!(stats.inodes >= 3);
+        assert!(stats.skipped.is_empty());
     }
 
     #[test]
     fn unsynced_tail_is_lost_cleanly() {
         let disk = Arc::new(Disk::new());
-        let jfs = JournaledFs::create(Arc::clone(&disk));
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         jfs.mkdir("/kept").unwrap();
         jfs.sync().unwrap();
         jfs.mkdir("/lost").unwrap();
@@ -255,7 +403,7 @@ mod tests {
     #[test]
     fn recovery_checkpoint_compacts_the_log() {
         let disk = Arc::new(Disk::new());
-        let jfs = JournaledFs::create(Arc::clone(&disk));
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         jfs.mknod("/f").unwrap();
         // Lots of history on one file...
         for i in 0..200 {
@@ -280,7 +428,7 @@ mod tests {
     #[test]
     fn double_recovery_epochs_increase() {
         let disk = Arc::new(Disk::new());
-        let jfs = JournaledFs::create(Arc::clone(&disk));
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         jfs.mkdir("/gen1").unwrap();
         jfs.sync().unwrap();
         drop(jfs);
@@ -338,5 +486,89 @@ mod tests {
         assert_eq!(stats.ops_replayed, 0);
         assert!(r.readdir("/").unwrap().is_empty());
         r.mkdir("/works").unwrap();
+    }
+
+    #[test]
+    fn dead_device_degrades_the_mount_instead_of_panicking() {
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(0).with_permanent_failure_after(6),
+        ));
+        let jfs = JournaledFs::create(dev);
+        // Mutate until the device dies under the journal.
+        let mut hit_degraded = false;
+        for i in 0..100 {
+            match jfs.mknod(&format!("/f{i}")) {
+                Ok(()) => {}
+                Err(FsError::ReadOnly) => {
+                    hit_degraded = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(hit_degraded, "the mount never degraded");
+        assert!(jfs.health().is_degraded());
+        // Reads still serve from memory; /f0 was created pre-failure.
+        assert!(jfs.stat("/f0").is_ok());
+        assert!(jfs.readdir("/").is_ok());
+        // Every mutating op is refused.
+        assert_eq!(jfs.mkdir("/d"), Err(FsError::ReadOnly));
+        assert_eq!(jfs.write("/f0", 0, b"x"), Err(FsError::ReadOnly));
+        assert_eq!(jfs.truncate("/f0", 0), Err(FsError::ReadOnly));
+        assert_eq!(jfs.unlink("/f0"), Err(FsError::ReadOnly));
+        assert_eq!(jfs.rename("/f0", "/f1"), Err(FsError::ReadOnly));
+        // And sync refuses to ack anything, with the EIO mapping.
+        assert_eq!(jfs.sync(), Err(FsError::Io));
+        let report = jfs.health_report();
+        assert!(report.health.is_degraded());
+        assert_eq!(report.dropped_events, 0, "gating beat the sink to it");
+    }
+
+    #[test]
+    fn recovery_onto_a_dead_device_comes_up_degraded_but_readable() {
+        let disk = Arc::new(Disk::new());
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
+        jfs.mkdir("/survives").unwrap();
+        jfs.sync().unwrap();
+        drop(jfs);
+        disk.crash(|_| false);
+        // The replacement controller is dead on arrival.
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(0).with_permanent_failure_after(0),
+        ));
+        let (r, stats) = JournaledFs::recover_with(disk, dev, RetryPolicy::default()).unwrap();
+        assert!(stats.ops_replayed >= 1);
+        assert!(r.health().is_degraded(), "checkpoint failure must degrade");
+        assert!(r.stat("/survives").is_ok(), "reads still serve from memory");
+        assert_eq!(r.mkdir("/new"), Err(FsError::ReadOnly));
+        assert_eq!(r.sync(), Err(FsError::Io));
+    }
+
+    #[test]
+    fn transient_faults_stay_healthy_and_durable() {
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(5).with_transient(6_000, 6_000, 6_000),
+        ));
+        let jfs = JournaledFs::create(dev);
+        for i in 0..40 {
+            jfs.mknod(&format!("/f{i}")).unwrap();
+        }
+        jfs.sync().unwrap();
+        assert_eq!(jfs.health(), Health::Healthy);
+        assert!(
+            jfs.health_report().retries > 0,
+            "a ~9% fault rate should have forced retries"
+        );
+        drop(jfs);
+        disk.crash(|_| false);
+        let (r, _) = JournaledFs::recover(disk).unwrap();
+        for i in 0..40 {
+            assert!(r.stat(&format!("/f{i}")).is_ok(), "/f{i} was acked");
+        }
     }
 }

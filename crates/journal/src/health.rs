@@ -1,0 +1,237 @@
+//! Retry policy and mount-health reporting for the fallible write path.
+//!
+//! Transient device errors are absorbed by [`RetryPolicy`]: a bounded
+//! number of attempts under a *virtual-time* exponential backoff budget —
+//! the policy accounts backoff ticks deterministically instead of
+//! sleeping, so fault tests replay bit-for-bit and never wait on a wall
+//! clock. When the budget is exhausted (or the device fails permanently)
+//! the journal's owner flips the mount to [`Health::Degraded`]: reads
+//! keep serving from the in-memory AtomFS, mutations are refused with
+//! `FsError::ReadOnly`, and `sync()` reports the cause so callers never
+//! treat non-durable data as acked.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::device::DiskError;
+
+/// Bounded, deterministic retry for transient device errors.
+///
+/// An operation is attempted up to `max_attempts` times; after the n-th
+/// failure the policy charges `backoff_base << n` virtual ticks against
+/// `backoff_budget` and gives up once the budget is exceeded. No wall
+/// clock is involved anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per device operation (including the first).
+    pub max_attempts: u32,
+    /// Virtual ticks charged for the first retry; doubles per attempt.
+    pub backoff_base: u64,
+    /// Total virtual ticks a single operation may spend backing off.
+    pub backoff_budget: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Up to 6 attempts within a 1024-tick budget — rides out fault
+    /// rates well past anything a real bus would survive, while still
+    /// giving up fast enough that tests exercise degraded mode.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base: 1,
+            backoff_budget: 1 << 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail on the first error: the policy the infallible seed behaved
+    /// as if it had (useful to measure what retrying buys).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: 0,
+            backoff_budget: 0,
+        }
+    }
+
+    /// Run `op`, retrying transient failures within the attempt and
+    /// virtual-time budgets. Every observed fault and every retry is
+    /// counted on `counters`.
+    pub fn run<T>(
+        &self,
+        counters: &HealthCounters,
+        mut op: impl FnMut() -> Result<T, DiskError>,
+    ) -> Result<T, DiskError> {
+        let mut elapsed = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    counters.device_faults.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    if !e.is_transient() || attempt >= self.max_attempts {
+                        return Err(e);
+                    }
+                    let wait = self.backoff_base << (attempt - 1).min(63);
+                    elapsed = elapsed.saturating_add(wait);
+                    if elapsed > self.backoff_budget {
+                        return Err(e);
+                    }
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Fault/retry counters shared by a journal and its owner.
+#[derive(Debug, Default)]
+pub struct HealthCounters {
+    /// Device errors observed (before retry absorption).
+    pub device_faults: AtomicU64,
+    /// Retries issued after transient errors.
+    pub retries: AtomicU64,
+}
+
+impl HealthCounters {
+    /// Device errors observed so far.
+    pub fn device_faults(&self) -> u64 {
+        self.device_faults.load(Ordering::Relaxed)
+    }
+
+    /// Retries issued so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
+/// The mount's storage health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// The write path is fully functional.
+    Healthy,
+    /// The device defeated the retry policy: the mount is read-only.
+    Degraded {
+        /// The error that exhausted the policy.
+        cause: DiskError,
+        /// Sequence number of the first record that failed to persist
+        /// (nothing at or after this seq is durable in this generation).
+        failed_at_seq: u64,
+    },
+}
+
+impl Health {
+    /// Whether the mount has flipped to read-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Health::Degraded { .. })
+    }
+}
+
+/// One-stop health snapshot for operators and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Current mount health.
+    pub health: Health,
+    /// Device errors observed (before retry absorption).
+    pub device_faults: u64,
+    /// Retries issued after transient errors.
+    pub retries: u64,
+    /// Mutation events dropped because the mount was already degraded
+    /// (should stay 0: degraded mounts refuse mutations up front).
+    pub dropped_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DiskOp;
+
+    #[test]
+    fn first_try_success_needs_no_retry() {
+        let c = HealthCounters::default();
+        let r = RetryPolicy::default().run(&c, || Ok::<_, DiskError>(7));
+        assert_eq!(r, Ok(7));
+        assert_eq!(c.retries(), 0);
+        assert_eq!(c.device_faults(), 0);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let c = HealthCounters::default();
+        let mut left = 3;
+        let r = RetryPolicy::default().run(&c, || {
+            if left > 0 {
+                left -= 1;
+                Err(DiskError::Transient(DiskOp::Write))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r, Ok(42));
+        assert_eq!(c.retries(), 3);
+        assert_eq!(c.device_faults(), 3);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let c = HealthCounters::default();
+        let mut calls = 0u32;
+        let r = RetryPolicy::default().run(&c, || {
+            calls += 1;
+            Err::<(), _>(DiskError::Transient(DiskOp::Read))
+        });
+        assert_eq!(r, Err(DiskError::Transient(DiskOp::Read)));
+        assert_eq!(calls, RetryPolicy::default().max_attempts);
+    }
+
+    #[test]
+    fn virtual_budget_limits_attempts_before_the_count_does() {
+        let c = HealthCounters::default();
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            backoff_base: 1,
+            backoff_budget: 4, // 1 + 2 = 3 ok, +4 = 7 > 4 → stop at 3 retries
+        };
+        let mut calls = 0u32;
+        let _ = policy.run(&c, || {
+            calls += 1;
+            Err::<(), _>(DiskError::Transient(DiskOp::Flush))
+        });
+        assert!(calls < 100, "budget never kicked in ({calls} calls)");
+    }
+
+    #[test]
+    fn permanent_failure_is_not_retried() {
+        let c = HealthCounters::default();
+        let mut calls = 0u32;
+        let r = RetryPolicy::default().run(&c, || {
+            calls += 1;
+            Err::<(), _>(DiskError::Gone)
+        });
+        assert_eq!(r, Err(DiskError::Gone));
+        assert_eq!(calls, 1);
+        assert_eq!(c.retries(), 0);
+    }
+
+    #[test]
+    fn no_retries_policy_fails_immediately() {
+        let c = HealthCounters::default();
+        let mut calls = 0u32;
+        let _ = RetryPolicy::no_retries().run(&c, || {
+            calls += 1;
+            Err::<(), _>(DiskError::Transient(DiskOp::Write))
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn health_predicates() {
+        assert!(!Health::Healthy.is_degraded());
+        assert!(Health::Degraded {
+            cause: DiskError::Gone,
+            failed_at_seq: 3
+        }
+        .is_degraded());
+    }
+}

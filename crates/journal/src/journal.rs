@@ -8,51 +8,73 @@
 //! at the first byte position that does not parse as a checksummed
 //! record — everything before it is a *prefix* of the appended history,
 //! which is the property the crash-consistency tests assert.
+//!
+//! The writer talks to storage through the fallible [`BlockDevice`]
+//! trait: transient errors are absorbed per sector operation by a
+//! [`RetryPolicy`] (virtual-time backoff, no sleeping), and an exhausted
+//! policy surfaces as `Err(DiskError)` from [`Journal::append`] /
+//! [`Journal::commit`] so the mount above can degrade to read-only.
+//! Recovery additionally runs a *scrub* past the valid prefix,
+//! classifying each unusable record (torn / checksum mismatch / stale
+//! epoch / orphaned / garbage) into [`Recovered::skipped`] instead of
+//! silently ending the scan.
 
 use std::sync::Arc;
 
 use atomfs_trace::MicroOp;
 
-use crate::device::{Disk, Sector, SECTOR_SIZE};
+use crate::device::{BlockDevice, Disk, DiskError, Sector, SECTOR_SIZE};
+use crate::health::{HealthCounters, RetryPolicy};
 use crate::wire::{decode_record, encode_record};
 
 /// Writer half of the journal.
 pub struct Journal {
-    disk: Arc<Disk>,
+    disk: Arc<dyn BlockDevice>,
     /// Log generation this writer appends under.
     epoch: u64,
     /// Next free byte offset in the log's byte stream.
     pos: u64,
     /// Next record sequence number.
     seq: u64,
+    policy: RetryPolicy,
+    counters: Arc<HealthCounters>,
 }
 
 impl Journal {
-    /// Start a fresh journal at byte 0 of `disk`, under epoch 1.
-    pub fn create(disk: Arc<Disk>) -> Self {
-        Self::create_epoch(disk, 1)
+    /// Start a fresh journal at byte 0 of `device`, under epoch 1.
+    pub fn create(device: Arc<dyn BlockDevice>) -> Self {
+        Self::create_epoch(device, 1)
     }
 
     /// Start a fresh journal generation at byte 0. The epoch must exceed
     /// every previously used epoch on this disk so stale records from the
     /// overwritten generation can never parse as part of the new log.
-    pub fn create_epoch(disk: Arc<Disk>, epoch: u64) -> Self {
+    pub fn create_epoch(device: Arc<dyn BlockDevice>, epoch: u64) -> Self {
+        Self::create_with(device, epoch, RetryPolicy::default())
+    }
+
+    /// [`Journal::create_epoch`] with an explicit retry policy.
+    pub fn create_with(device: Arc<dyn BlockDevice>, epoch: u64, policy: RetryPolicy) -> Self {
         Journal {
-            disk,
+            disk: device,
             epoch,
             pos: 0,
             seq: 0,
+            policy,
+            counters: Arc::new(HealthCounters::default()),
         }
     }
 
     /// Continue an existing journal after [`recover`]: append after the
     /// last valid record, under the same epoch.
-    pub fn resume(disk: Arc<Disk>, recovered: &Recovered) -> Self {
+    pub fn resume(device: Arc<dyn BlockDevice>, recovered: &Recovered) -> Self {
         Journal {
-            disk,
+            disk: device,
             epoch: recovered.epoch,
             pos: recovered.end_pos,
             seq: recovered.batches.len() as u64,
+            policy: RetryPolicy::default(),
+            counters: Arc::new(HealthCounters::default()),
         }
     }
 
@@ -66,35 +88,85 @@ impl Journal {
         self.pos
     }
 
+    /// Sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The fault/retry counters this writer charges.
+    pub fn counters(&self) -> Arc<HealthCounters> {
+        Arc::clone(&self.counters)
+    }
+
     /// Append one batch of operations as a record (volatile until
-    /// [`Journal::commit`]). Returns the record's sequence number.
-    pub fn append(&mut self, ops: &[MicroOp]) -> u64 {
+    /// [`Journal::commit`]). Returns the record's sequence number, or the
+    /// device error that defeated the retry policy — in which case the
+    /// sequence number and log position do *not* advance, so the caller
+    /// can degrade without the log state drifting.
+    pub fn append(&mut self, ops: &[MicroOp]) -> Result<u64, DiskError> {
+        let rec = encode_record(self.epoch, self.seq, ops);
+        self.write_bytes(&rec)?;
         let seq = self.seq;
         self.seq += 1;
-        let rec = encode_record(self.epoch, seq, ops);
-        self.write_bytes(&rec);
-        seq
+        Ok(seq)
     }
 
     /// Flush barrier: everything appended so far becomes durable.
-    pub fn commit(&self) {
-        self.disk.flush();
+    pub fn commit(&self) -> Result<(), DiskError> {
+        let disk = &*self.disk;
+        self.policy.run(&self.counters, || disk.flush())
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), DiskError> {
         let mut written = 0usize;
         while written < bytes.len() {
-            let lba = (self.pos as usize + written) / SECTOR_SIZE;
+            let lba = ((self.pos as usize + written) / SECTOR_SIZE) as u64;
             let off = (self.pos as usize + written) % SECTOR_SIZE;
             let chunk = (SECTOR_SIZE - off).min(bytes.len() - written);
-            // Read-modify-write the sector (the tail sector is partial).
-            let mut sector: Sector = self.disk.read(lba as u64);
+            let disk = &*self.disk;
+            // Read-modify-write the sector (the tail sector is partial);
+            // each sector op individually rides out transient errors.
+            let mut sector: Sector = self.policy.run(&self.counters, || disk.read(lba))?;
             sector[off..off + chunk].copy_from_slice(&bytes[written..written + chunk]);
-            self.disk.write(lba as u64, &sector);
+            self.policy
+                .run(&self.counters, || disk.write(lba, &sector))?;
             written += chunk;
         }
         self.pos += bytes.len() as u64;
+        Ok(())
     }
+}
+
+/// Why the recovery scrub refused a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordClass {
+    /// The record frame is intact but its tail reads as zeroes: a write
+    /// that persisted only a prefix (torn by a crash or a faulty drive).
+    Torn,
+    /// The record frame is intact but the checksum disagrees: silent
+    /// corruption of durable bytes (bit rot).
+    ChecksumMismatch,
+    /// A validly checksummed record from an older, overwritten log
+    /// generation showing through past the current generation's end.
+    StaleEpoch,
+    /// A validly checksummed record of the current generation stranded
+    /// past a corruption hole — unusable because the history it extends
+    /// is incomplete.
+    Orphaned,
+    /// Bytes that are not a record frame at all; the scrub cannot size
+    /// them and must stop.
+    Garbage,
+}
+
+/// One record the recovery scrub skipped, with where and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkippedRecord {
+    /// Byte offset of the record frame in the log stream.
+    pub offset: u64,
+    /// Why it was skipped.
+    pub class: RecordClass,
+    /// Frame length in bytes (0 when the frame could not be sized).
+    pub len: usize,
 }
 
 /// The result of scanning a disk.
@@ -107,6 +179,9 @@ pub struct Recovered {
     pub batches: Vec<Vec<MicroOp>>,
     /// Byte offset just past the last valid record.
     pub end_pos: u64,
+    /// Records past the valid prefix that the scrub classified and
+    /// skipped (empty when the log simply ends cleanly).
+    pub skipped: Vec<SkippedRecord>,
 }
 
 impl Recovered {
@@ -129,33 +204,47 @@ impl Recovered {
 /// carry the magic bytes cannot make the scanner allocate unboundedly.
 const MAX_PAYLOAD: usize = 1 << 26;
 
-/// Scan `disk` from sector zero, returning every complete record up to
-/// the first corruption/torn write/end of log.
-pub fn recover(disk: &Disk) -> Recovered {
-    fn ensure(disk: &Disk, bytes: &mut Vec<u8>, upto: usize) {
-        while bytes.len() < upto {
-            let lba = (bytes.len() / SECTOR_SIZE) as u64;
-            bytes.extend_from_slice(&disk.read(lba));
-        }
+/// Most records the scrub will classify past the valid prefix before
+/// giving up (a bounded report, not a full forensic pass).
+const MAX_SKIPPED: usize = 64;
+
+/// Header bytes: magic(4) + epoch(8) + seq(8) + payload_len(4).
+const HEADER: usize = 24;
+
+fn ensure(disk: &Disk, bytes: &mut Vec<u8>, upto: usize) {
+    while bytes.len() < upto {
+        let lba = (bytes.len() / SECTOR_SIZE) as u64;
+        bytes.extend_from_slice(&disk.read(lba));
     }
+}
+
+/// Scan `disk` from sector zero, returning every complete record up to
+/// the first corruption/torn write/end of log, then scrub past that
+/// point to classify what was left behind (see [`Recovered::skipped`]).
+///
+/// Recovery reads the raw [`Disk`] rather than a fallible device: it
+/// models a fresh power session of the controller — the previous
+/// session's fault plan died with the crash, while corruption that
+/// session left on the platter is exactly what the scrub reports.
+pub fn recover(disk: &Disk) -> Recovered {
     let mut bytes: Vec<u8> = Vec::new();
     let mut batches = Vec::new();
     let mut pos = 0usize;
     let mut expected_seq = 0u64;
     let mut log_epoch: Option<u64> = None;
     loop {
-        // Header: magic(4) + epoch(8) + seq(8) + payload_len(4).
-        ensure(disk, &mut bytes, pos + 24);
+        ensure(disk, &mut bytes, pos + HEADER);
         let magic = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4"));
         if magic != crate::wire::MAGIC {
             break;
         }
         let payload_len =
-            u32::from_le_bytes(bytes[pos + 20..pos + 24].try_into().expect("4")) as usize;
+            u32::from_le_bytes(bytes[pos + HEADER - 4..pos + HEADER].try_into().expect("4"))
+                as usize;
         if payload_len > MAX_PAYLOAD {
             break;
         }
-        let total = 24 + payload_len + 8;
+        let total = HEADER + payload_len + 8;
         ensure(disk, &mut bytes, pos + total);
         match decode_record(&bytes[pos..pos + total]) {
             Some((epoch, seq, ops, len))
@@ -173,11 +262,72 @@ pub fn recover(disk: &Disk) -> Recovered {
             _ => break,
         }
     }
+    let skipped = scrub(disk, &mut bytes, pos, log_epoch);
     Recovered {
         epoch: log_epoch.unwrap_or(1),
         batches,
         end_pos: pos as u64,
+        skipped,
     }
+}
+
+/// Classify the records (if any) past the valid prefix at `pos`.
+fn scrub(
+    disk: &Disk,
+    bytes: &mut Vec<u8>,
+    mut pos: usize,
+    log_epoch: Option<u64>,
+) -> Vec<SkippedRecord> {
+    let mut skipped = Vec::new();
+    while skipped.len() < MAX_SKIPPED {
+        ensure(disk, bytes, pos + HEADER);
+        let header = &bytes[pos..pos + HEADER];
+        if header.iter().all(|&b| b == 0) {
+            // Never-written space: the clean end of the log.
+            break;
+        }
+        let magic = u32::from_le_bytes(header[..4].try_into().expect("4"));
+        let payload_len = u32::from_le_bytes(header[HEADER - 4..].try_into().expect("4")) as usize;
+        if magic != crate::wire::MAGIC || payload_len > MAX_PAYLOAD {
+            // Not a frame: unsizeable, so the scrub cannot step past it.
+            skipped.push(SkippedRecord {
+                offset: pos as u64,
+                class: RecordClass::Garbage,
+                len: 0,
+            });
+            break;
+        }
+        let total = HEADER + payload_len + 8;
+        ensure(disk, bytes, pos + total);
+        let frame = &bytes[pos..pos + total];
+        let class = match decode_record(frame) {
+            Some((epoch, _, _, _)) if log_epoch.map(|e| e != epoch).unwrap_or(false) => {
+                RecordClass::StaleEpoch
+            }
+            // Valid record of this generation, but the history between
+            // the prefix and here has a hole.
+            Some(_) => RecordClass::Orphaned,
+            None => {
+                // A torn write persists a prefix of the frame; the rest
+                // reads as whatever was there before — zeroes, in the
+                // append-only region past the tail. A frame whose last
+                // bytes are zero therefore tore; a frame that is fully
+                // populated but fails its checksum was flipped.
+                if frame[total - 8..].iter().all(|&b| b == 0) {
+                    RecordClass::Torn
+                } else {
+                    RecordClass::ChecksumMismatch
+                }
+            }
+        };
+        skipped.push(SkippedRecord {
+            offset: pos as u64,
+            class,
+            len: total,
+        });
+        pos += total;
+    }
+    skipped
 }
 
 #[cfg(test)]
@@ -195,27 +345,28 @@ mod tests {
     #[test]
     fn append_commit_recover_roundtrip() {
         let disk = Arc::new(Disk::new());
-        let mut j = Journal::create(Arc::clone(&disk));
+        let mut j = Journal::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         for i in 0..20 {
-            j.append(&[op(i), op(1000 + i)]);
+            j.append(&[op(i), op(1000 + i)]).unwrap();
         }
-        j.commit();
+        j.commit().unwrap();
         let r = recover(&disk);
         assert_eq!(r.batches.len(), 20);
         assert_eq!(r.ops().count(), 40);
         assert_eq!(r.end_pos, j.position());
+        assert!(r.skipped.is_empty(), "clean log has nothing to scrub");
     }
 
     #[test]
     fn clean_crash_recovers_committed_prefix() {
         let disk = Arc::new(Disk::new());
-        let mut j = Journal::create(Arc::clone(&disk));
+        let mut j = Journal::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         for i in 0..10 {
-            j.append(&[op(i)]);
+            j.append(&[op(i)]).unwrap();
         }
-        j.commit();
+        j.commit().unwrap();
         for i in 10..15 {
-            j.append(&[op(i)]);
+            j.append(&[op(i)]).unwrap();
         }
         // Power cut: the five uncommitted records vanish.
         disk.crash(|_| false);
@@ -226,9 +377,9 @@ mod tests {
     #[test]
     fn adversarial_crash_still_yields_a_prefix() {
         let disk = Arc::new(Disk::new());
-        let mut j = Journal::create(Arc::clone(&disk));
+        let mut j = Journal::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         for i in 0..30 {
-            j.append(&[op(i)]);
+            j.append(&[op(i)]).unwrap();
         }
         // The drive persisted a random-looking subset of queued sector
         // writes; recovery must still return a clean prefix.
@@ -243,13 +394,13 @@ mod tests {
     #[test]
     fn resume_appends_after_recovery() {
         let disk = Arc::new(Disk::new());
-        let mut j = Journal::create(Arc::clone(&disk));
-        j.append(&[op(0)]);
-        j.commit();
+        let mut j = Journal::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
+        j.append(&[op(0)]).unwrap();
+        j.commit().unwrap();
         let r = recover(&disk);
-        let mut j2 = Journal::resume(Arc::clone(&disk), &r);
-        j2.append(&[op(1)]);
-        j2.commit();
+        let mut j2 = Journal::resume(Arc::clone(&disk) as Arc<dyn BlockDevice>, &r);
+        j2.append(&[op(1)]).unwrap();
+        j2.commit().unwrap();
         let r2 = recover(&disk);
         assert_eq!(r2.batches.len(), 2);
         assert_eq!(r2.batches[1][0], op(1));
@@ -258,7 +409,7 @@ mod tests {
     #[test]
     fn replay_builds_state() {
         let disk = Arc::new(Disk::new());
-        let mut j = Journal::create(Arc::clone(&disk));
+        let mut j = Journal::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
         j.append(&[
             MicroOp::Create {
                 ino: 2,
@@ -269,8 +420,9 @@ mod tests {
                 name: "d".into(),
                 child: 2,
             },
-        ]);
-        j.commit();
+        ])
+        .unwrap();
+        j.commit().unwrap();
         let state = recover(&disk).replay().unwrap();
         let (trail, err) = state.resolve(&["d".to_string()]);
         assert!(err.is_none());
@@ -283,5 +435,127 @@ mod tests {
         let r = recover(&disk);
         assert!(r.batches.is_empty());
         assert_eq!(r.end_pos, 0);
+        assert!(r.skipped.is_empty());
+    }
+
+    /// Writes and flushes `n` single-op records, returning the disk and
+    /// the byte offset of each record frame.
+    fn committed_log(n: u64) -> (Arc<Disk>, Vec<u64>) {
+        let disk = Arc::new(Disk::new());
+        let mut j = Journal::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
+        let mut offsets = Vec::new();
+        for i in 0..n {
+            offsets.push(j.position());
+            j.append(&[op(i)]).unwrap();
+        }
+        j.commit().unwrap();
+        (disk, offsets)
+    }
+
+    #[test]
+    fn scrub_classifies_a_bit_flip_as_checksum_mismatch() {
+        let (disk, offsets) = committed_log(5);
+        // Flip one payload bit of record 3 (the payload of a one-op
+        // record spans frame bytes 24..38, so +30 is inside it).
+        let abs = offsets[3] as usize + 30;
+        disk.corrupt_durable((abs / SECTOR_SIZE) as u64, abs % SECTOR_SIZE, 0x10);
+        let r = recover(&disk);
+        assert_eq!(r.batches.len(), 3, "prefix stops before the flipped record");
+        assert_eq!(r.skipped[0].offset, offsets[3]);
+        assert_eq!(r.skipped[0].class, RecordClass::ChecksumMismatch);
+        // Record 4 is intact but stranded past the hole.
+        assert_eq!(r.skipped[1].class, RecordClass::Orphaned);
+        assert_eq!(r.skipped[1].offset, offsets[4]);
+    }
+
+    #[test]
+    fn scrub_classifies_a_zeroed_tail_as_torn() {
+        let (disk, offsets) = committed_log(3);
+        // Zero the trailing checksum bytes of the final record: the shape
+        // a partially-persisted append leaves behind.
+        let r0 = recover(&disk);
+        let end = r0.end_pos as usize;
+        for byte in end - 8..end {
+            let lba = (byte / SECTOR_SIZE) as u64;
+            let cur = Disk::read(&disk, lba)[byte % SECTOR_SIZE];
+            disk.corrupt_durable(lba, byte % SECTOR_SIZE, cur); // XOR x with x → 0
+        }
+        let r = recover(&disk);
+        assert_eq!(r.batches.len(), 2);
+        assert_eq!(r.skipped.len(), 1);
+        assert_eq!(r.skipped[0].class, RecordClass::Torn);
+        assert_eq!(r.skipped[0].offset, offsets[2]);
+    }
+
+    #[test]
+    fn scrub_classifies_non_frame_bytes_as_garbage() {
+        let (disk, _) = committed_log(2);
+        let r0 = recover(&disk);
+        // Stamp junk (not MAGIC) right past the valid prefix.
+        let end = r0.end_pos as usize;
+        let lba = (end / SECTOR_SIZE) as u64;
+        let cur = Disk::read(&disk, lba)[end % SECTOR_SIZE];
+        disk.corrupt_durable(lba, end % SECTOR_SIZE, cur ^ 0xDE);
+        let r = recover(&disk);
+        assert_eq!(r.batches.len(), 2, "valid prefix is untouched");
+        assert_eq!(r.skipped.len(), 1);
+        assert_eq!(r.skipped[0].class, RecordClass::Garbage);
+        assert_eq!(r.skipped[0].len, 0);
+    }
+
+    #[test]
+    fn scrub_is_bounded() {
+        let (disk, offsets) = committed_log(MAX_SKIPPED as u64 + 40);
+        // Corrupt record 0: everything after it is scrubbed, not replayed.
+        disk.corrupt_durable(0, offsets[0] as usize + 30, 0x01);
+        let r = recover(&disk);
+        assert!(r.batches.is_empty());
+        assert_eq!(r.skipped.len(), MAX_SKIPPED);
+    }
+
+    #[test]
+    fn transient_faults_are_invisible_when_retries_absorb_them() {
+        use crate::faults::{FaultPlan, FaultyDisk};
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(11).with_transient(8_000, 8_000, 8_000),
+        ));
+        let mut j = Journal::create_with(dev, 1, RetryPolicy::default());
+        for i in 0..50 {
+            j.append(&[op(i)]).unwrap();
+        }
+        j.commit().unwrap();
+        assert!(
+            j.counters().retries() > 0,
+            "a 12% fault rate over 50 records should have needed retries"
+        );
+        let r = recover(&disk);
+        assert_eq!(r.batches.len(), 50);
+    }
+
+    #[test]
+    fn permanent_failure_surfaces_and_freezes_log_state() {
+        use crate::faults::{FaultPlan, FaultyDisk};
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::new(Disk::new()),
+            FaultPlan::none(0).with_permanent_failure_after(8),
+        ));
+        let mut j = Journal::create(dev);
+        let mut failed_at = None;
+        for i in 0..100 {
+            let before = (j.next_seq(), j.position());
+            match j.append(&[op(i)]) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert_eq!(e, DiskError::Gone);
+                    assert_eq!((j.next_seq(), j.position()), before, "state must not drift");
+                    failed_at = Some(i);
+                    break;
+                }
+            }
+        }
+        assert!(failed_at.is_some(), "the device never died");
+        assert_eq!(j.commit(), Err(DiskError::Gone));
     }
 }

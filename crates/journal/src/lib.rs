@@ -15,7 +15,13 @@
 //! * [`fs::JournaledFs`] — AtomFS wired to the log through its trace
 //!   sink (every inode-granularity mutation is a log record, in global
 //!   mutation order), with `sync()` as the durability barrier and
-//!   recovery-as-checkpoint (log compaction).
+//!   recovery-as-checkpoint (log compaction);
+//! * [`faults::FaultyDisk`] — seeded, deterministic fault injection
+//!   behind the [`device::BlockDevice`] trait (transient errors,
+//!   permanent device failure, torn writes, bit rot), which the
+//!   journal's retry/degrade machinery ([`health`]) is tested against:
+//!   exhausted retries flip the mount to read-only degraded mode
+//!   instead of losing acked data or panicking.
 //!
 //! The correctness story composes with CRL-H: because the log records
 //! the same micro-operation stream the checker's shadow state replays,
@@ -28,10 +34,14 @@
 //! executions; the journal's own tests validate durability.
 
 pub mod device;
+pub mod faults;
 pub mod fs;
+pub mod health;
 pub mod journal;
 pub mod wire;
 
-pub use device::Disk;
+pub use device::{BlockDevice, Disk, DiskError, DiskOp};
+pub use faults::{FaultPlan, FaultStats, FaultyDisk};
 pub use fs::{materialize, JournalSink, JournaledFs, RecoveryStats};
-pub use journal::{recover, Journal, Recovered};
+pub use health::{Health, HealthCounters, HealthReport, RetryPolicy};
+pub use journal::{recover, Journal, RecordClass, Recovered, SkippedRecord};

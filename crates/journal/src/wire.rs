@@ -149,6 +149,11 @@ fn decode_op(r: &mut Reader<'_>) -> Option<MicroOp> {
     })
 }
 
+/// Smallest encoding of any micro-op: a `Create`/`Remove` is
+/// tag(1) + ino(8) + ftype(1) bytes. Used to sanity-bound the op count
+/// a record header claims.
+const MIN_OP_BYTES: usize = 10;
+
 /// FNV-1a over a byte slice — the record checksum.
 pub fn checksum(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -195,6 +200,12 @@ pub fn decode_record(buf: &[u8]) -> Option<(u64, u64, Vec<MicroOp>, usize)> {
     let epoch = r.u64()?;
     let seq = r.u64()?;
     let payload_len = r.u32()? as usize;
+    // The length came off the wire: clamp it against the bytes actually
+    // present before using it for anything, so a corrupted field can
+    // never drive a huge allocation or an overflowing index.
+    if payload_len > buf.len().saturating_sub(r.pos) {
+        return None;
+    }
     let payload_start = r.pos;
     let payload = r.take(payload_len)?;
     let stored_sum = r.u64()?;
@@ -207,6 +218,12 @@ pub fn decode_record(buf: &[u8]) -> Option<(u64, u64, Vec<MicroOp>, usize)> {
         pos: 0,
     };
     let count = pr.u32()? as usize;
+    // Same clamp for the op count: every op encodes to at least
+    // MIN_OP_BYTES, so a count the remaining payload cannot possibly
+    // hold is corrupt — reject it before `Vec::with_capacity`.
+    if count > payload.len().saturating_sub(pr.pos) / MIN_OP_BYTES {
+        return None;
+    }
     let mut ops = Vec::with_capacity(count);
     for _ in 0..count {
         ops.push(decode_op(&mut pr)?);
@@ -305,5 +322,124 @@ mod tests {
     #[test]
     fn zeros_are_not_a_record() {
         assert!(decode_record(&[0u8; 64]).is_none());
+    }
+
+    #[test]
+    fn huge_wire_length_is_rejected_without_allocating() {
+        // A frame whose header claims a payload far past the buffer end.
+        let mut rec = Vec::new();
+        put_u32(&mut rec, MAGIC);
+        put_u64(&mut rec, 1);
+        put_u64(&mut rec, 0);
+        put_u32(&mut rec, u32::MAX);
+        rec.extend_from_slice(&[0xAB; 64]);
+        assert!(decode_record(&rec).is_none());
+    }
+
+    #[test]
+    fn huge_op_count_with_valid_checksum_is_rejected() {
+        // The checksum only covers the bytes as written, so a record
+        // *encoded* with a lying count field checksums fine — the count
+        // clamp is the only thing standing between it and a huge
+        // `Vec::with_capacity`.
+        let mut rec = Vec::new();
+        put_u32(&mut rec, MAGIC);
+        put_u64(&mut rec, 1);
+        put_u64(&mut rec, 0);
+        put_u32(&mut rec, 4); // payload = just the count field
+        put_u32(&mut rec, u32::MAX); // claims 4 billion ops
+        let sum = checksum(&rec);
+        put_u64(&mut rec, sum);
+        assert!(decode_record(&rec).is_none());
+    }
+
+    /// splitmix64 — the same deterministic stream the fault layer uses.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn fuzz_arbitrary_bytes_never_panic() {
+        let mut s = 0xF00Du64;
+        for _ in 0..2000 {
+            let len = (splitmix(&mut s) % 300) as usize;
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                *b = splitmix(&mut s) as u8;
+            }
+            // Half the runs get a plausible frame start, so the fuzz
+            // exercises the post-magic paths too.
+            if buf.len() >= 4 && splitmix(&mut s) & 1 == 0 {
+                buf[..4].copy_from_slice(&MAGIC.to_le_bytes());
+            }
+            if let Some((_, _, _, total)) = decode_record(&buf) {
+                assert!(total <= buf.len());
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let rec = encode_record(2, 5, &sample_ops());
+        let original = decode_record(&rec).unwrap();
+        for byte in 0..rec.len() {
+            for bit in 0..8 {
+                let mut bad = rec.clone();
+                bad[byte] ^= 1 << bit;
+                match decode_record(&bad) {
+                    None => {}
+                    Some(got) => panic!(
+                        "flip of byte {byte} bit {bit} decoded as {:?} (original {:?})",
+                        got, original
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_multi_flip_never_yields_a_different_record() {
+        let mut s = 0xBEEFu64;
+        let rec = encode_record(9, 77, &sample_ops());
+        let original = decode_record(&rec).unwrap();
+        for _ in 0..2000 {
+            let mut bad = rec.clone();
+            let flips = 1 + (splitmix(&mut s) % 6) as usize;
+            for _ in 0..flips {
+                let byte = (splitmix(&mut s) as usize) % bad.len();
+                let bit = splitmix(&mut s) % 8;
+                bad[byte] ^= 1 << bit;
+            }
+            if let Some(got) = decode_record(&bad) {
+                // Flips may cancel out back to the original encoding —
+                // but a *different* record must never surface.
+                assert_eq!(got, original, "corruption produced a forged record");
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_truncations_and_extensions_never_panic() {
+        let mut s = 0xCAFEu64;
+        let rec = encode_record(1, 3, &sample_ops());
+        for cut in 0..rec.len() {
+            assert!(decode_record(&rec[..cut]).is_none());
+        }
+        for _ in 0..500 {
+            let mut extended = rec.clone();
+            let extra = (splitmix(&mut s) % 64) as usize;
+            for _ in 0..extra {
+                extended.push(splitmix(&mut s) as u8);
+            }
+            // Trailing junk past a complete record is not this record's
+            // problem; the parse must still succeed and size itself.
+            let (_, _, ops, total) = decode_record(&extended).unwrap();
+            assert_eq!(total, rec.len());
+            assert_eq!(ops, sample_ops());
+        }
     }
 }

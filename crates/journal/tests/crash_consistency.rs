@@ -30,7 +30,9 @@ impl Harness {
     fn new() -> Self {
         let disk = Arc::new(Disk::new());
         let journal_sink = Arc::new(atomfs_journal::JournalSink::new(
-            atomfs_journal::Journal::create(Arc::clone(&disk)),
+            atomfs_journal::Journal::create(
+                Arc::clone(&disk) as Arc<dyn atomfs_journal::BlockDevice>
+            ),
         ));
         let recorder = Arc::new(BufferSink::new());
         let fanout = Arc::new(FanoutSink(vec![
@@ -47,7 +49,9 @@ impl Harness {
     }
 
     fn sync(&self) {
-        self.journal_sink.sync();
+        self.journal_sink
+            .sync()
+            .expect("perfect disk never degrades");
     }
 
     fn mutations(&self) -> Vec<MicroOp> {
@@ -216,7 +220,7 @@ fn recovered_fs_passes_the_linearizability_checker() {
     // After recovery, mount with an online checker attached and keep
     // going: the recovered instance is a full AtomFS.
     let disk = Arc::new(Disk::new());
-    let jfs = JournaledFs::create(Arc::clone(&disk));
+    let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn atomfs_journal::BlockDevice>);
     jfs.mkdir("/base").unwrap();
     jfs.mknod("/base/f").unwrap();
     jfs.sync().unwrap();
@@ -243,4 +247,39 @@ fn recovered_fs_passes_the_linearizability_checker() {
         h.join().unwrap();
     }
     assert_eq!(fs.readdir("/base").unwrap().len(), 1 + 200);
+}
+
+/// Recovering a pathologically deep directory chain must not overflow
+/// the stack: `materialize` walks the recovered tree with an explicit
+/// worklist, so it runs in constant stack regardless of depth.
+#[test]
+fn deep_tree_recovery_does_not_overflow_the_stack() {
+    // Deep enough that one stack frame per directory level would blow
+    // through the 256 KiB thread stack below; shallower in debug builds
+    // only to keep the O(depth²) path resolution cost reasonable.
+    let depth: usize = if cfg!(debug_assertions) { 1200 } else { 2500 };
+    let disk = Arc::new(Disk::new());
+    {
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn atomfs_journal::BlockDevice>);
+        let mut path = String::new();
+        for _ in 0..depth {
+            path.push_str("/d");
+            jfs.mkdir(&path).unwrap();
+        }
+        jfs.sync().unwrap();
+    }
+    disk.crash(|_| false);
+    let handle = std::thread::Builder::new()
+        .stack_size(256 * 1024)
+        .spawn(move || {
+            let (recovered, stats) =
+                JournaledFs::recover(Arc::clone(&disk)).expect("deep tree recovers");
+            assert_eq!(stats.inodes, depth + 1, "root plus every chain link");
+            let deepest = "/d".repeat(depth);
+            assert!(recovered.stat(&deepest).unwrap().ftype.is_dir());
+        })
+        .unwrap();
+    handle
+        .join()
+        .expect("recovery thread must not die (stack overflow aborts)");
 }

@@ -1,0 +1,320 @@
+//! Randomized fault-schedule × crash-schedule storms.
+//!
+//! Every seeded schedule must terminate in a lawful state — healthy,
+//! cleanly degraded (reads served, mutations `EROFS`, syncs `EIO`), or
+//! recovered — with zero panics, zero lost acked `sync()` data (for
+//! schedules without silent corruption), and recovery landing on
+//! *exactly* the replayed prefix of the recorded mutation history, with
+//! anything it refused itemized in `RecoveryStats::skipped`.
+//!
+//! `FAULT_STORM_SEED=<n>` pins the run to a single seed (the CI fault-
+//! storm matrix fans one job out per seed); unset, a fixed sweep runs.
+
+use std::sync::Arc;
+
+use atomfs_journal::{Disk, FaultPlan, FaultyDisk, Health, JournaledFs, RetryPolicy};
+use atomfs_trace::{BufferSink, Event, MicroOp, TraceSink};
+use atomfs_vfs::{FileSystem, FsError};
+use crlh::FsState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("FAULT_STORM_SEED") {
+        Ok(s) => vec![s.parse().expect("FAULT_STORM_SEED must be a u64")],
+        Err(_) => (0..8).collect(),
+    }
+}
+
+/// All states reachable by prefixes of `muts` (index = prefix length).
+fn prefix_states(muts: &[MicroOp]) -> Vec<FsState> {
+    let mut states = Vec::with_capacity(muts.len() + 1);
+    let mut s = FsState::new();
+    states.push(s.clone());
+    for m in muts {
+        s.apply_micro(m).expect("recorded stream replays");
+        states.push(s.clone());
+    }
+    states
+}
+
+/// Canonical content comparison between a recovered live FS and an
+/// abstract state: same tree shape, names, and file bytes.
+fn fs_matches_state(fs: &dyn FileSystem, state: &FsState) -> bool {
+    fn walk(fs: &dyn FileSystem, state: &FsState, id: u64, path: &str) -> bool {
+        match state.node(id) {
+            Some(crlh::Node::Dir(entries)) => {
+                let Ok(mut names) = fs.readdir(path) else {
+                    return false;
+                };
+                names.sort();
+                let mut expected: Vec<&String> = entries.keys().collect();
+                expected.sort();
+                if names.iter().collect::<Vec<_>>() != expected {
+                    return false;
+                }
+                entries.iter().all(|(name, child)| {
+                    walk(fs, state, *child, &atomfs_vfs::path::join(path, name))
+                })
+            }
+            Some(crlh::Node::File(data)) => {
+                let Ok(meta) = fs.stat(path) else {
+                    return false;
+                };
+                if meta.size != data.len() as u64 {
+                    return false;
+                }
+                let mut buf = vec![0u8; data.len()];
+                matches!(fs.read(path, 0, &mut buf), Ok(n) if n == data.len() && buf == *data)
+            }
+            None => false,
+        }
+    }
+    walk(fs, state, state.root, "/")
+}
+
+fn mutations(recorder: &BufferSink) -> Vec<MicroOp> {
+    recorder
+        .snapshot()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Mutate { mop, .. } => Some(mop.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+struct StormOutcome {
+    /// Mutation count at the last `sync()` that returned `Ok` (acked).
+    acked: Option<usize>,
+    /// Whether the mount degraded during the run.
+    degraded: bool,
+}
+
+/// Drive a random workload, asserting the degraded-mode invariants as
+/// they become observable: errors only with degraded health, degradation
+/// sticky, reads always served.
+fn drive(jfs: &JournaledFs, recorder: &BufferSink, rng: &mut StdRng, ops: usize) -> StormOutcome {
+    let mut acked = None;
+    let mut degraded = false;
+    for i in 0..ops {
+        let d = format!("/d{}", rng.random_range(0..3));
+        let f = format!("{d}/f{}", rng.random_range(0..4));
+        let g = format!("/d{}/g{}", rng.random_range(0..3), rng.random_range(0..3));
+        let mut synced_now = false;
+        let outcome: Result<(), FsError> = match rng.random_range(0..8) {
+            0 => jfs.mkdir(&d),
+            1 => jfs.mknod(&f),
+            2 => jfs.write(&f, (i % 5) as u64, &[i as u8; 64]).map(|_| ()),
+            3 => jfs.unlink(&f),
+            4 => jfs.rename(&f, &g),
+            5 => jfs.truncate(&f, (i % 40) as u64),
+            6 => jfs.rmdir(&d),
+            _ => {
+                synced_now = true;
+                jfs.sync()
+            }
+        };
+        match outcome {
+            Ok(()) => {
+                if synced_now {
+                    acked = Some(mutations(recorder).len());
+                }
+            }
+            Err(FsError::ReadOnly) | Err(FsError::Io) => {
+                assert!(
+                    jfs.health().is_degraded(),
+                    "op {i}: EROFS/EIO from a mount whose health says Healthy"
+                );
+                degraded = true;
+            }
+            // Workload-level noise (racing against our own random
+            // unlinks): not a storage outcome.
+            Err(_) => {}
+        }
+        if degraded {
+            assert!(
+                jfs.health().is_degraded(),
+                "op {i}: degradation must be sticky"
+            );
+            assert!(jfs.readdir("/").is_ok(), "op {i}: degraded reads must work");
+        }
+    }
+    StormOutcome { acked, degraded }
+}
+
+#[test]
+fn fault_storm_every_schedule_terminates_in_a_lawful_state() {
+    for seed in seeds() {
+        let plan = FaultPlan::storm(seed);
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
+        let recorder = Arc::new(BufferSink::new());
+        let jfs = JournaledFs::create_observed(
+            dev,
+            RetryPolicy::default(),
+            Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let out = drive(&jfs, &recorder, &mut rng, 160);
+        if let Health::Healthy = jfs.health() {
+            assert!(!out.degraded, "seed {seed}: health lost the degradation");
+        }
+        // Read-only gating stops every op that has not yet started, so a
+        // healthy run drops nothing, and a degraded run can drop at most
+        // the trailing micro-ops of the single op in flight when the
+        // device died (an op emits at most a handful of micro-ops).
+        let dropped = jfs.health_report().dropped_events;
+        if !out.degraded {
+            assert_eq!(dropped, 0, "seed {seed}: healthy run dropped events");
+        } else {
+            assert!(
+                dropped <= 4,
+                "seed {seed}: {dropped} drops — gating failed to stop a post-degradation op"
+            );
+        }
+        let muts = mutations(&recorder);
+        drop(jfs);
+
+        // Crash with a seeded adversarial subset of queued writes kept.
+        let keep_mod = 2 + (seed % 4);
+        disk.crash(|i| (i as u64) % keep_mod == 0);
+
+        let (recovered, stats) =
+            JournaledFs::recover(Arc::clone(&disk)).expect("recovery never fails");
+        let k = stats.ops_replayed;
+        assert!(k <= muts.len(), "seed {seed}: replayed invented history");
+        let states = prefix_states(&muts);
+        assert!(
+            fs_matches_state(&recovered, &states[k]),
+            "seed {seed}: recovered tree is not exactly the {k}-mutation prefix of {}",
+            muts.len()
+        );
+        // Silent-corruption classes (torn writes, bit flips) may destroy
+        // data *after* it was acked; every other schedule must keep
+        // every acked mutation.
+        if !plan.corrupts_silently() {
+            if let Some(acked) = out.acked {
+                assert!(
+                    k >= acked,
+                    "seed {seed}: lost acked sync data (prefix {k} < acked {acked})"
+                );
+            }
+        }
+        // The recovered mount (fresh generation on the raw platter) works.
+        recovered.mkdir("/post-recovery").unwrap();
+        recovered.sync().unwrap();
+    }
+}
+
+#[test]
+fn transient_only_schedules_stay_healthy_and_lose_nothing() {
+    for seed in seeds() {
+        let plan = FaultPlan::none(seed).with_transient(3_000, 3_000, 3_000);
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
+        let recorder = Arc::new(BufferSink::new());
+        let jfs = JournaledFs::create_observed(
+            dev,
+            RetryPolicy::default(),
+            Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = drive(&jfs, &recorder, &mut rng, 120);
+        assert!(
+            !out.degraded,
+            "seed {seed}: the retry policy failed to absorb a ~4.6% transient rate"
+        );
+        assert_eq!(jfs.health(), Health::Healthy);
+        let muts = mutations(&recorder);
+        drop(jfs);
+        disk.crash(|_| false);
+        let (recovered, stats) = JournaledFs::recover(Arc::clone(&disk)).unwrap();
+        let k = stats.ops_replayed;
+        assert!(fs_matches_state(&recovered, &prefix_states(&muts)[k]));
+        if let Some(acked) = out.acked {
+            assert!(k >= acked, "seed {seed}: lost acked data under transients");
+        }
+        assert!(
+            stats.skipped.iter().all(|s| s.offset >= stats.log_bytes),
+            "seed {seed}: a skipped record inside the replayed prefix"
+        );
+    }
+}
+
+#[test]
+fn bit_flip_storms_recover_to_an_itemized_prefix() {
+    for seed in seeds() {
+        let plan = FaultPlan::none(seed).with_bit_flips(20_000);
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
+        let recorder = Arc::new(BufferSink::new());
+        let jfs = JournaledFs::create_observed(
+            dev,
+            RetryPolicy::default(),
+            Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        );
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let out = drive(&jfs, &recorder, &mut rng, 120);
+        let muts = mutations(&recorder);
+        drop(jfs);
+        disk.crash(|_| false);
+        let (recovered, stats) = JournaledFs::recover(Arc::clone(&disk)).unwrap();
+        let k = stats.ops_replayed;
+        // Always prefix-exact, even when rot ate acked records...
+        assert!(
+            fs_matches_state(&recovered, &prefix_states(&muts)[k]),
+            "seed {seed}: recovery under bit rot must still land on a prefix"
+        );
+        // ...and when it did, the loss is *reported*, never silent.
+        if let Some(acked) = out.acked {
+            if k < acked {
+                assert!(
+                    !stats.skipped.is_empty(),
+                    "seed {seed}: lost acked records without itemizing the skip"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checker_accepts_the_trace_of_degraded_runs() {
+    use crlh::{CheckerConfig, HelperMode, OnlineChecker, RelationCadence};
+    for seed in seeds() {
+        let plan = FaultPlan::none(seed).with_permanent_failure_after(30 + seed * 7);
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
+        let checker = Arc::new(OnlineChecker::new(CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::AtUnlock,
+            invariants: true,
+        }));
+        let jfs = JournaledFs::create_observed(
+            dev,
+            RetryPolicy::default(),
+            Arc::clone(&checker) as Arc<dyn TraceSink>,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut degraded = false;
+        for i in 0..200 {
+            let f = format!("/f{}", rng.random_range(0..10));
+            let r = match rng.random_range(0..4) {
+                0 => jfs.mknod(&f),
+                1 => jfs.write(&f, 0, &[i as u8; 32]).map(|_| ()),
+                2 => jfs.unlink(&f),
+                _ => jfs.sync(),
+            };
+            if matches!(r, Err(FsError::ReadOnly) | Err(FsError::Io)) {
+                degraded = true;
+            }
+        }
+        assert!(degraded, "seed {seed}: device never died; storm too gentle");
+        drop(jfs);
+        // The trace the checker saw contains exactly the mutations that
+        // happened — degraded-mode gating refuses mutations *before*
+        // AtomFS, so no half-performed op ever reaches the stream.
+        let report = Arc::into_inner(checker).expect("sole owner").finish();
+        report.assert_ok();
+    }
+}

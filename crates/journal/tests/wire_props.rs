@@ -1,0 +1,130 @@
+//! Property-based tests on the journal's wire format: `decode_record`
+//! fed arbitrary bytes, truncations, and bit-flipped encodings of valid
+//! records must never panic and never return a record that differs from
+//! the one encoded — the checksum (plus the clamped length/count fields)
+//! catches every corruption the fault layer can inject.
+
+use atomfs_journal::wire::{decode_record, encode_record};
+use atomfs_trace::MicroOp;
+use atomfs_vfs::FileType;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy for one micro-op, names/payloads built from small byte pools
+/// (no string-regex strategies needed).
+fn op_strategy() -> impl Strategy<Value = MicroOp> {
+    prop_oneof![
+        (any::<u64>(), any::<bool>()).prop_map(|(ino, dir)| MicroOp::Create {
+            ino,
+            ftype: if dir { FileType::Dir } else { FileType::File },
+        }),
+        (any::<u64>(), any::<bool>()).prop_map(|(ino, dir)| MicroOp::Remove {
+            ino,
+            ftype: if dir { FileType::Dir } else { FileType::File },
+        }),
+        (any::<u64>(), vec(any::<u8>(), 1..12), any::<u64>()).prop_map(|(parent, name, child)| {
+            MicroOp::Ins {
+                parent,
+                name: name.iter().map(|b| char::from(b'a' + b % 26)).collect(),
+                child,
+            }
+        }),
+        (any::<u64>(), vec(any::<u8>(), 1..12), any::<u64>()).prop_map(|(parent, name, child)| {
+            MicroOp::Del {
+                parent,
+                name: name.iter().map(|b| char::from(b'a' + b % 26)).collect(),
+                child,
+            }
+        }),
+        (
+            any::<u64>(),
+            vec(any::<u8>(), 0..40),
+            vec(any::<u8>(), 0..40)
+        )
+            .prop_map(|(ino, old, new)| MicroOp::SetData { ino, old, new }),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = (u64, u64, Vec<MicroOp>)> {
+    (any::<u64>(), any::<u64>(), vec(op_strategy(), 0..6))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(buf in vec(any::<u8>(), 0..400)) {
+        if let Some((_, _, _, total)) = decode_record(&buf) {
+            prop_assert!(total <= buf.len());
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_with_a_magic_prefix_never_panic(
+        tail in vec(any::<u8>(), 0..400)
+    ) {
+        // Force the interesting path: a valid magic over garbage.
+        let mut buf = atomfs_journal::wire::MAGIC.to_le_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        if let Some((_, _, _, total)) = decode_record(&buf) {
+            prop_assert!(total <= buf.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact((epoch, seq, ops) in record_strategy()) {
+        let rec = encode_record(epoch, seq, &ops);
+        let (e, s, decoded, total) = decode_record(&rec).expect("valid record decodes");
+        prop_assert_eq!(e, epoch);
+        prop_assert_eq!(s, seq);
+        prop_assert_eq!(decoded, ops);
+        prop_assert_eq!(total, rec.len());
+    }
+
+    #[test]
+    fn truncations_never_decode((epoch, seq, ops) in record_strategy(), frac in 0.0f64..1.0) {
+        let rec = encode_record(epoch, seq, &ops);
+        let cut = ((rec.len() as f64) * frac) as usize;
+        prop_assert!(cut < rec.len());
+        prop_assert!(decode_record(&rec[..cut]).is_none());
+    }
+
+    #[test]
+    fn bit_flips_never_forge_a_different_record(
+        (epoch, seq, ops) in record_strategy(),
+        flips in vec((any::<u16>(), 0u8..8), 1..5)
+    ) {
+        let rec = encode_record(epoch, seq, &ops);
+        let mut bad = rec.clone();
+        for (pos, bit) in &flips {
+            let byte = *pos as usize % bad.len();
+            bad[byte] ^= 1 << bit;
+        }
+        match decode_record(&bad) {
+            None => {}
+            Some((e, s, decoded, _)) => {
+                // Flips may cancel back to the original bytes; anything
+                // else surviving the checksum would be a forgery.
+                prop_assert_eq!(&bad, &rec, "corrupted bytes decoded");
+                prop_assert_eq!(e, epoch);
+                prop_assert_eq!(s, seq);
+                prop_assert_eq!(decoded, ops);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_junk_does_not_change_the_decode(
+        (epoch, seq, ops) in record_strategy(),
+        junk in vec(any::<u8>(), 0..64)
+    ) {
+        let rec = encode_record(epoch, seq, &ops);
+        let mut extended = rec.clone();
+        extended.extend_from_slice(&junk);
+        let (e, s, decoded, total) = decode_record(&extended).expect("prefix still valid");
+        prop_assert_eq!(e, epoch);
+        prop_assert_eq!(s, seq);
+        prop_assert_eq!(decoded, ops);
+        prop_assert_eq!(total, rec.len());
+    }
+}

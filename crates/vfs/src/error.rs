@@ -47,6 +47,10 @@ pub enum FsError {
     ReadOnly,
     /// `ENOSYS`: the operation is not supported by this file system.
     Unsupported,
+    /// `EIO`: the storage layer failed (e.g. a journal device error that
+    /// defeated the retry policy). Appended last to keep the derived
+    /// ordering of the pre-existing variants stable.
+    Io,
 }
 
 impl FsError {
@@ -75,6 +79,7 @@ impl FsError {
             FsError::Busy => 16,
             FsError::ReadOnly => 30,
             FsError::Unsupported => 38,
+            FsError::Io => 5,
         }
     }
 
@@ -95,6 +100,7 @@ impl FsError {
             FsError::Busy => "EBUSY",
             FsError::ReadOnly => "EROFS",
             FsError::Unsupported => "ENOSYS",
+            FsError::Io => "EIO",
         }
     }
 }
@@ -114,6 +120,7 @@ mod tests {
     #[test]
     fn errno_values_match_linux() {
         assert_eq!(FsError::NotFound.errno(), 2);
+        assert_eq!(FsError::Io.errno(), 5);
         assert_eq!(FsError::BadFd.errno(), 9);
         assert_eq!(FsError::Exists.errno(), 17);
         assert_eq!(FsError::NotDir.errno(), 20);
@@ -121,6 +128,38 @@ mod tests {
         assert_eq!(FsError::InvalidArgument.errno(), 22);
         assert_eq!(FsError::NoSpace.errno(), 28);
         assert_eq!(FsError::NotEmpty.errno(), 39);
+    }
+
+    #[test]
+    fn io_symbol_and_display() {
+        assert_eq!(FsError::Io.symbol(), "EIO");
+        let s = FsError::Io.to_string();
+        assert!(s.contains("EIO") && s.contains('5'));
+    }
+
+    /// `Io` was appended after the original variants, so every
+    /// pre-existing variant still orders before it — serialized
+    /// comparisons from before the addition stay valid.
+    #[test]
+    fn io_orders_after_all_preexisting_variants() {
+        for e in [
+            FsError::NotFound,
+            FsError::Exists,
+            FsError::NotDir,
+            FsError::IsDir,
+            FsError::NotEmpty,
+            FsError::InvalidArgument,
+            FsError::NameTooLong,
+            FsError::NoSpace,
+            FsError::FileTooBig,
+            FsError::BadFd,
+            FsError::PermissionDenied,
+            FsError::Busy,
+            FsError::ReadOnly,
+            FsError::Unsupported,
+        ] {
+            assert!(e < FsError::Io, "{e} must order before Io");
+        }
     }
 
     #[test]
@@ -147,6 +186,7 @@ mod tests {
             FsError::Busy,
             FsError::ReadOnly,
             FsError::Unsupported,
+            FsError::Io,
         ];
         let mut symbols: Vec<_> = all.iter().map(|e| e.symbol()).collect();
         symbols.sort_unstable();

@@ -10,13 +10,13 @@
 
 use std::sync::Arc;
 
-use atomfs_journal::{Disk, JournaledFs};
+use atomfs_journal::{BlockDevice, Disk, JournaledFs};
 use atomfs_vfs::fs::FileSystemExt;
 use atomfs_vfs::FileSystem;
 
 fn main() {
     let disk = Arc::new(Disk::new());
-    let fs = JournaledFs::create(Arc::clone(&disk));
+    let fs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
 
     println!("mounting a journaled AtomFS on a fresh simulated disk\n");
     fs.mkdir("/projects").unwrap();
@@ -47,6 +47,10 @@ fn main() {
     println!(
         "recovered from epoch {}: replayed {} mutations from {} log bytes, {} inodes",
         stats.epoch, stats.ops_replayed, stats.log_bytes, stats.inodes
+    );
+    println!(
+        "recovery scrub skipped {} unusable records past the valid prefix",
+        stats.skipped.len()
     );
     println!(
         "checkpointed into epoch {} ({} bytes — recovery doubles as log compaction)\n",

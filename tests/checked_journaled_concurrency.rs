@@ -22,7 +22,7 @@ fn concurrent_checked_and_journaled_then_crash() {
     for seed in 0..3u64 {
         let disk = Arc::new(Disk::new());
         let journal_sink = Arc::new(atomfs_journal::JournalSink::new(Journal::create(
-            Arc::clone(&disk),
+            Arc::clone(&disk) as Arc<dyn atomfs_journal::BlockDevice>,
         )));
         let checker = Arc::new(OnlineChecker::new(CheckerConfig {
             mode: HelperMode::Helpers,
@@ -45,14 +45,14 @@ fn concurrent_checked_and_journaled_then_crash() {
                 set_current_tid(Tid(8800 + seed as u32 * 10 + t));
                 mix.run(&*fs, seed * 7 + u64::from(t), 60);
                 if t == 0 {
-                    js.sync();
+                    js.sync().expect("perfect disk never degrades");
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        journal_sink.sync();
+        journal_sink.sync().expect("perfect disk never degrades");
 
         // The concurrent execution was linearizable.
         drop(fs);
