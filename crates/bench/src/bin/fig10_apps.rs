@@ -10,8 +10,9 @@
 
 use atomfs_bench::report::{secs, Table};
 use atomfs_bench::setups::{build, FIG10_SYSTEMS};
+use atomfs_obs::{ClockSource, Registry};
 use atomfs_vfs::fs::FileSystemExt;
-use atomfs_vfs::FileSystem;
+use atomfs_vfs::{FileSystem, MeteredFs};
 use atomfs_workloads::{apps, lfs};
 
 fn run_workload(fs: &dyn FileSystem, name: &str, scale: f64) -> std::time::Duration {
@@ -67,17 +68,35 @@ fn main() {
     let mut header = vec!["workload"];
     header.extend(FIG10_SYSTEMS);
     let mut table = Table::new(&header);
+    let mut lat_table = Table::new(&header);
     for w in workloads {
         let mut cells = vec![w.to_string()];
+        let mut lat_cells = vec![w.to_string()];
         for sys in FIG10_SYSTEMS {
-            // A fresh instance per cell keeps workloads independent.
-            let fs = build(sys);
-            let d = run_workload(&*fs, w, scale);
+            // A fresh instance (and registry) per cell keeps workloads
+            // independent; the metering wrapper sits above the deployment
+            // shim, so latency includes the modeled crossing costs.
+            let reg = Registry::new();
+            let fs = MeteredFs::new(build(sys), &reg, ClockSource::monotonic());
+            let d = run_workload(&fs, w, scale);
             cells.push(secs(d));
+            let h = reg.snapshot().hist_merged("fs_op_ns");
+            lat_cells.push(if h.count == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}/{:.1}",
+                    h.quantile(0.50) as f64 / 1e3,
+                    h.quantile(0.99) as f64 / 1e3
+                )
+            });
         }
         table.row(cells);
+        lat_table.row(lat_cells);
         eprint!(".");
     }
     eprintln!();
     table.print();
+    println!("\nper-op latency p50/p99 (us), all operation kinds merged:");
+    lat_table.print();
 }

@@ -24,9 +24,11 @@ use atomfs::AtomFs;
 use atomfs_bench::report::{ratio, Table};
 use atomfs_bench::setups::{build, FIG11_SYSTEMS};
 use atomfs_locksim::{plan_from_scripts, simulate, CostModel, ScriptConverter, ThreadPlan};
+use atomfs_obs::{ClockSource, Registry};
 use atomfs_trace::{BufferSink, TraceSink};
+use atomfs_vfs::MeteredFs;
 use atomfs_workloads::filebench::{Fileserver, Webproxy};
-use atomfs_workloads::run_threads;
+use atomfs_workloads::run_threads_observed;
 
 const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
 
@@ -97,26 +99,30 @@ fn simulated_series(personality: &str, system: &str, iters: usize) -> Vec<f64> {
         .collect()
 }
 
-fn measured_series(personality: &str, system: &str, iters: usize) -> Vec<f64> {
+/// One measured point: throughput plus (p50, p99) op latency in ns, taken
+/// by a [`MeteredFs`] wrapped around the full deployment stack.
+fn measured_series(personality: &str, system: &str, iters: usize) -> Vec<(f64, Option<(u64, u64)>)> {
     THREADS
         .iter()
         .map(|&threads| {
-            let fs = build(system);
+            // A fresh registry per point: each cell's histogram is its own.
+            let reg = Registry::new();
+            let fs = MeteredFs::new(build(system), &reg, ClockSource::monotonic());
             let result = if personality == "fileserver" {
                 let cfg = fileserver_cfg();
-                cfg.setup(&*fs).expect("setup");
-                run_threads(Arc::new(fs), threads, move |fs, t| {
-                    cfg.run_thread(&**fs, t, iters, 1234)
+                cfg.setup(&fs).expect("setup");
+                run_threads_observed(Arc::new(fs), threads, &reg, move |fs, t| {
+                    cfg.run_thread(&*fs, t, iters, 1234)
                 })
             } else {
                 let cfg = webproxy_cfg();
-                cfg.setup(&*fs).expect("setup");
-                run_threads(Arc::new(fs), threads, move |fs, t| {
-                    cfg.run_thread(&**fs, t, iters, 1234)
+                cfg.setup(&fs).expect("setup");
+                run_threads_observed(Arc::new(fs), threads, &reg, move |fs, t| {
+                    cfg.run_thread(&*fs, t, iters, 1234)
                 })
             };
             eprint!(".");
-            result.throughput()
+            (result.throughput(), result.latency_ns("fs_op_ns"))
         })
         .collect()
 }
@@ -140,12 +146,15 @@ fn run_personality(name: &str, iters: usize, measured: bool) {
     );
     println!("paper shape: atomfs > biglock; atomfs ~1.46x biglock throughput at 16 threads (fileserver), ~1.16x (webproxy); ext4 much faster in absolute terms\n");
     let mut tps: Vec<Vec<f64>> = Vec::new();
+    let mut lats: Vec<Vec<Option<(u64, u64)>>> = Vec::new();
     for sys in FIG11_SYSTEMS {
-        tps.push(if measured {
-            measured_series(name, sys, iters)
+        if measured {
+            let series = measured_series(name, sys, iters);
+            tps.push(series.iter().map(|(tp, _)| *tp).collect());
+            lats.push(series.iter().map(|(_, lat)| *lat).collect());
         } else {
-            simulated_series(name, sys, iters)
-        });
+            tps.push(simulated_series(name, sys, iters));
+        }
     }
     eprintln!();
     let mut header = vec!["threads"];
@@ -173,6 +182,29 @@ fn run_personality(name: &str, iters: usize, measured: bool) {
         t2.row(cells);
     }
     t2.print();
+    if measured {
+        // Per-op latency (the simulated default has no wall-clock ops to
+        // time): p50/p99 across all operation kinds, in microseconds.
+        println!();
+        let mut t3 = Table::new(&{
+            let mut h = vec!["p50/p99 us"];
+            h.extend(FIG11_SYSTEMS);
+            h
+        });
+        for (i, &threads) in THREADS.iter().enumerate() {
+            let mut cells = vec![format!("@{threads}t")];
+            for series in &lats {
+                cells.push(match series[i] {
+                    Some((p50, p99)) => {
+                        format!("{:.1}/{:.1}", p50 as f64 / 1e3, p99 as f64 / 1e3)
+                    }
+                    None => "-".to_string(),
+                });
+            }
+            t3.row(cells);
+        }
+        t3.print();
+    }
     let atomfs_16 = tps[0][THREADS.len() - 1];
     let biglock_16 = tps[1][THREADS.len() - 1];
     println!(

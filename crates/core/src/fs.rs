@@ -5,6 +5,7 @@ use std::sync::Arc;
 use atomfs_trace::{Event, TraceSink};
 
 use crate::blocks::BlockStore;
+use crate::metrics::FsMetrics;
 use crate::table::InodeTable;
 
 /// Sizing knobs for an [`AtomFs`] instance.
@@ -55,6 +56,7 @@ pub struct AtomFs {
     pub(crate) table: InodeTable,
     pub(crate) store: BlockStore,
     pub(crate) sink: Option<Arc<dyn TraceSink>>,
+    pub(crate) metrics: Option<Arc<FsMetrics>>,
 }
 
 impl Default for AtomFs {
@@ -75,6 +77,7 @@ impl AtomFs {
             table: InodeTable::new(cfg.max_inodes),
             store: BlockStore::new(cfg.max_blocks),
             sink: None,
+            metrics: None,
         }
     }
 
@@ -89,12 +92,33 @@ impl AtomFs {
             table: InodeTable::new(cfg.max_inodes),
             store: BlockStore::new(cfg.max_blocks),
             sink: Some(sink),
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics bundle (builder-style: applies to any
+    /// constructor). Metrics are orthogonal to tracing — tracing records
+    /// the logical event stream for the checker, metrics record timing
+    /// distributions — so the two can be enabled independently.
+    pub fn with_metrics(mut self, metrics: Arc<FsMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Whether instrumentation is active.
     pub fn is_traced(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// The attached metrics bundle, if any. Compiles to `None` under the
+    /// `obs-off` feature so every metrics branch is dead code.
+    #[inline]
+    pub(crate) fn m(&self) -> Option<&FsMetrics> {
+        if atomfs_obs::ENABLED {
+            self.metrics.as_deref()
+        } else {
+            None
+        }
     }
 
     /// Number of live inodes (including the root).

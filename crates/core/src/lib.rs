@@ -54,6 +54,7 @@ pub mod dirhash;
 pub mod fs;
 pub mod handles;
 pub mod inode;
+pub mod metrics;
 pub mod ops;
 pub mod table;
 pub mod walk;
@@ -61,6 +62,7 @@ pub mod walk;
 pub use atomfs_trace::{Inum, ROOT_INUM};
 pub use fs::{AtomFs, AtomFsConfig};
 pub use handles::Handle;
+pub use metrics::{FsMetrics, LockClass, OpKind, DEFAULT_OP_SAMPLE};
 
 #[cfg(test)]
 mod tests;

@@ -29,9 +29,26 @@ use atomfs_vfs::path::normalize;
 use atomfs_vfs::{FileSystem, FileType, FsError, FsResult, Metadata};
 
 use crate::fs::AtomFs;
+use crate::metrics::{FsMetrics, OpKind};
 use crate::walk::Locked;
 
 impl AtomFs {
+    /// Begin a metered operation: sample-gate it and read the clock if
+    /// observed (sentinel when unmetered — the value is only consumed by
+    /// [`AtomFs::op_end`], which checks again).
+    #[inline]
+    fn op_start(&self) -> u64 {
+        self.m().map_or(FsMetrics::UNTIMED, |m| m.op_begin())
+    }
+
+    /// Record a finished operation's latency and error status.
+    #[inline]
+    fn op_end<T>(&self, op: OpKind, start: u64, result: &FsResult<T>) {
+        if let Some(m) = self.m() {
+            m.op_done(op, start, result.is_err());
+        }
+    }
+
     /// Emit the failure LP at the current decision point, release every
     /// held lock, and propagate the error.
     ///
@@ -480,22 +497,80 @@ impl FileSystem for AtomFs {
     }
 
     fn mknod(&self, path: &str) -> FsResult<()> {
-        self.create_entry(path, FileType::File)
+        let t0 = self.op_start();
+        let result = self.create_entry(path, FileType::File);
+        self.op_end(OpKind::Mknod, t0, &result);
+        result
     }
 
     fn mkdir(&self, path: &str) -> FsResult<()> {
-        self.create_entry(path, FileType::Dir)
+        let t0 = self.op_start();
+        let result = self.create_entry(path, FileType::Dir);
+        self.op_end(OpKind::Mkdir, t0, &result);
+        result
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
-        self.remove_entry(path, false)
+        let t0 = self.op_start();
+        let result = self.remove_entry(path, false);
+        self.op_end(OpKind::Unlink, t0, &result);
+        result
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
-        self.remove_entry(path, true)
+        let t0 = self.op_start();
+        let result = self.remove_entry(path, true);
+        self.op_end(OpKind::Rmdir, t0, &result);
+        result
     }
 
     fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        let t0 = self.op_start();
+        let result = self.rename_outer(src, dst);
+        self.op_end(OpKind::Rename, t0, &result);
+        result
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let t0 = self.op_start();
+        let result = self.stat_outer(path);
+        self.op_end(OpKind::Stat, t0, &result);
+        result
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        let t0 = self.op_start();
+        let result = self.readdir_outer(path);
+        self.op_end(OpKind::Readdir, t0, &result);
+        result
+    }
+
+    fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let t0 = self.op_start();
+        let result = self.read_outer(path, offset, buf);
+        self.op_end(OpKind::Read, t0, &result);
+        result
+    }
+
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let t0 = self.op_start();
+        let result = self.write_outer(path, offset, data);
+        self.op_end(OpKind::Write, t0, &result);
+        result
+    }
+
+    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        let t0 = self.op_start();
+        let result = self.truncate_outer(path, size);
+        self.op_end(OpKind::Truncate, t0, &result);
+        result
+    }
+}
+
+/// The trace-emitting operation bodies, unchanged by the metrics layer:
+/// the `FileSystem` impl above wraps each in one latency timer.
+impl AtomFs {
+    fn rename_outer(&self, src: &str, dst: &str) -> FsResult<()> {
         let src = normalize(src)?;
         let dst = normalize(dst)?;
         let tid = current_tid();
@@ -517,7 +592,7 @@ impl FileSystem for AtomFs {
         result
     }
 
-    fn stat(&self, path: &str) -> FsResult<Metadata> {
+    fn stat_outer(&self, path: &str) -> FsResult<Metadata> {
         let comps = normalize(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
@@ -537,7 +612,7 @@ impl FileSystem for AtomFs {
         result
     }
 
-    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+    fn readdir_outer(&self, path: &str) -> FsResult<Vec<String>> {
         let comps = normalize(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
@@ -557,7 +632,7 @@ impl FileSystem for AtomFs {
         result
     }
 
-    fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+    fn read_outer(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
         let comps = normalize(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
@@ -582,7 +657,7 @@ impl FileSystem for AtomFs {
         result
     }
 
-    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
+    fn write_outer(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
         let comps = normalize(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
@@ -618,7 +693,7 @@ impl FileSystem for AtomFs {
         result
     }
 
-    fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+    fn truncate_outer(&self, path: &str, size: u64) -> FsResult<()> {
         let comps = normalize(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {

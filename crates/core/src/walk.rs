@@ -22,6 +22,7 @@ use atomfs_vfs::FsError;
 
 use crate::fs::AtomFs;
 use crate::inode::InodeData;
+use crate::metrics::LockClass;
 use crate::table::InodeRef;
 
 /// An inode whose lock is held by the current thread.
@@ -33,6 +34,9 @@ pub(crate) struct Locked {
     pub ino: Inum,
     /// The owned guard over the inode's contents.
     pub guard: ArcMutexGuard<RawMutex, InodeData>,
+    /// Clock reading at acquisition when this acquisition was sampled for
+    /// hold-time measurement; 0 for the unsampled common case.
+    hold_start: u64,
 }
 
 impl std::fmt::Debug for Locked {
@@ -56,10 +60,45 @@ impl std::ops::DerefMut for Locked {
 
 impl AtomFs {
     /// Acquire `ino`'s lock, emitting the `Lock` event while holding it.
+    ///
+    /// Metrics discipline: `try_lock` first, so the uncontended fast path
+    /// never reads the clock — wait time is only measured when the
+    /// acquisition actually blocked. The lock class (root/dir/file) is
+    /// attributed after acquisition, when the file type can be read under
+    /// the lock.
     pub(crate) fn lock_inode(&self, tid: Tid, ino: Inum, iref: &InodeRef, tag: PathTag) -> Locked {
-        let guard = parking_lot::Mutex::lock_arc(iref);
+        let locked = match self.m() {
+            None => Locked {
+                ino,
+                guard: parking_lot::Mutex::lock_arc(iref),
+                hold_start: 0,
+            },
+            Some(m) => {
+                let (guard, waited) = match parking_lot::Mutex::try_lock_arc(iref) {
+                    Some(g) => (g, None),
+                    None => {
+                        let t0 = m.now();
+                        let g = parking_lot::Mutex::lock_arc(iref);
+                        (g, Some(m.now().saturating_sub(t0)))
+                    }
+                };
+                let class = LockClass::of(ino, guard.ftype());
+                match waited {
+                    None => m.lock_fast(class),
+                    Some(w) => m.lock_slow(class, w),
+                }
+                // `.max(1)` keeps a sampled acquisition at virtual time 0
+                // distinguishable from the unsampled sentinel.
+                let hold_start = if m.sample_hold() { m.now().max(1) } else { 0 };
+                Locked {
+                    ino,
+                    guard,
+                    hold_start,
+                }
+            }
+        };
         self.emit(|| Event::Lock { tid, ino, tag });
-        Locked { ino, guard }
+        locked
     }
 
     /// Release a held inode lock, emitting `Unlock` while still holding it.
@@ -68,6 +107,12 @@ impl AtomFs {
             tid,
             ino: locked.ino,
         });
+        if locked.hold_start != 0 {
+            if let Some(m) = self.m() {
+                let class = LockClass::of(locked.ino, locked.guard.ftype());
+                m.lock_held(class, m.now().saturating_sub(locked.hold_start));
+            }
+        }
         drop(locked.guard);
     }
 
@@ -93,6 +138,9 @@ impl AtomFs {
                 }
                 Err(e) => return Err((e, cur)),
             }
+        }
+        if let Some(m) = self.m() {
+            m.walk_depth(comps.len() as u64 + 1);
         }
         Ok(cur)
     }
@@ -125,6 +173,9 @@ impl AtomFs {
                 }
                 Err(e) => return Err((e, Some(cur))),
             }
+        }
+        if let Some(m) = self.m() {
+            m.walk_depth(comps.len() as u64);
         }
         Ok(Some(cur))
     }

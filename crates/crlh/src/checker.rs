@@ -83,6 +83,7 @@ impl Default for CheckerConfig {
 
 /// Classification of a detected problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
 pub enum ViolationKind {
     /// The trace itself is malformed (double lock, mutate without lock,
     /// lock outside an operation, ...). Indicates an instrumentation or
@@ -113,6 +114,44 @@ pub enum ViolationKind {
     FutureLockpath,
     /// Table 1: the LockPathPrefix relation has a cycle.
     LockpathWellformed,
+}
+
+impl ViolationKind {
+    /// Every kind, in discriminant order (indexable by `kind as usize`).
+    pub const ALL: [ViolationKind; 13] = [
+        ViolationKind::Protocol,
+        ViolationKind::ShadowState,
+        ViolationKind::RelyGuarantee,
+        ViolationKind::ReturnMismatch,
+        ViolationKind::NoLinearization,
+        ViolationKind::AbstractionRelation,
+        ViolationKind::HelpedNonBypassable,
+        ViolationKind::UnhelpedNonBypassable,
+        ViolationKind::GoodAfs,
+        ViolationKind::LastLockedLockpath,
+        ViolationKind::HelplistConsistency,
+        ViolationKind::FutureLockpath,
+        ViolationKind::LockpathWellformed,
+    ];
+
+    /// A stable snake_case label for metric/report keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::Protocol => "protocol",
+            ViolationKind::ShadowState => "shadow_state",
+            ViolationKind::RelyGuarantee => "rely_guarantee",
+            ViolationKind::ReturnMismatch => "return_mismatch",
+            ViolationKind::NoLinearization => "no_linearization",
+            ViolationKind::AbstractionRelation => "abstraction_relation",
+            ViolationKind::HelpedNonBypassable => "helped_non_bypassable",
+            ViolationKind::UnhelpedNonBypassable => "unhelped_non_bypassable",
+            ViolationKind::GoodAfs => "good_afs",
+            ViolationKind::LastLockedLockpath => "last_locked_lockpath",
+            ViolationKind::HelplistConsistency => "helplist_consistency",
+            ViolationKind::FutureLockpath => "future_lockpath",
+            ViolationKind::LockpathWellformed => "lockpath_wellformed",
+        }
+    }
 }
 
 /// One detected violation.
@@ -211,6 +250,7 @@ pub struct LpChecker {
     stats: CheckerStats,
     narration: Vec<String>,
     idx: usize,
+    metrics: Option<std::sync::Arc<crate::metrics::CheckerMetrics>>,
 }
 
 impl Default for LpChecker {
@@ -236,7 +276,18 @@ impl LpChecker {
             stats: CheckerStats::default(),
             narration: Vec::new(),
             idx: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach live checker metrics (builder-style). Under `obs-off` the
+    /// handles are inert and the hooks compile to nothing.
+    pub fn with_metrics(
+        mut self,
+        metrics: std::sync::Arc<crate::metrics::CheckerMetrics>,
+    ) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The current abstract state (primarily for tests).
@@ -255,6 +306,9 @@ impl LpChecker {
     }
 
     fn flag(&mut self, kind: ViolationKind, message: String) {
+        if let Some(m) = &self.metrics {
+            m.violation(kind);
+        }
         self.violations.push(Violation {
             at: self.idx,
             kind,
@@ -624,6 +678,9 @@ impl LpChecker {
         };
         self.stats.helps += order.len() as u64;
         self.stats.max_helpset = self.stats.max_helpset.max(order.len());
+        if let Some(m) = &self.metrics {
+            m.helpset(order.len() as u64);
+        }
         let order_str = order
             .iter()
             .map(|t| t.to_string())
@@ -640,6 +697,9 @@ impl LpChecker {
     /// Linearize thread `tid`'s abstract operation against the current
     /// abstract state (the paper's `lin(t)`).
     fn lin(&mut self, tid: Tid, helped: bool) {
+        if let Some(m) = &self.metrics {
+            m.lin(helped);
+        }
         let (op, mut created) = {
             let entry = self.pool.get_mut(tid).expect("linearized thread exists");
             let op = match &entry.aop {
@@ -767,6 +827,11 @@ impl LpChecker {
 
     fn check_relation(&mut self) {
         self.stats.relation_checks += 1;
+        if let Some(m) = &self.metrics {
+            // Roll-back depth = how many helped-but-unfinished operations
+            // the relation had to unwind to reach a consistent view.
+            m.rollback(self.pool.helplist.len() as u64);
+        }
         match rolled_back(&self.afs, &self.pool) {
             Ok(rolled) => {
                 for msg in relation_violations(

@@ -58,6 +58,7 @@ pub mod ghost;
 pub mod helper;
 pub mod history;
 pub mod invariants;
+pub mod metrics;
 pub mod online;
 pub mod rg;
 pub mod rollback;

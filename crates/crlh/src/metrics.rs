@@ -1,0 +1,149 @@
+//! Checker-side metrics: how often the helper mechanism fires, how deep
+//! roll-back goes, and what (if anything) is being flagged.
+//!
+//! The paper's argument hinges on two mechanisms — `linothers` helping
+//! and the roll-back abstraction relation — whose *frequency* is
+//! workload-dependent and invisible in a pass/fail report. This module
+//! gives them live counters so an 8-thread rename storm shows, in one
+//! `render_prometheus()` dump, how many operations were linearized by
+//! helpers versus at their own LP, how many roll-backs were performed
+//! and how many helped operations each had to unwind, and a gauge per
+//! [`ViolationKind`] (all expected to stay 0 on a correct execution).
+
+use std::sync::Arc;
+
+use atomfs_obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::checker::ViolationKind;
+
+/// Metric handles for an [`LpChecker`](crate::checker::LpChecker).
+pub struct CheckerMetrics {
+    self_lins: Arc<Counter>,
+    helped_lins: Arc<Counter>,
+    rollbacks: Arc<Counter>,
+    rollback_depth: Arc<Histogram>,
+    helpset_size: Arc<Histogram>,
+    violations: Vec<Arc<Gauge>>,
+}
+
+impl CheckerMetrics {
+    /// Register the checker metric family in `registry`. Idempotent per
+    /// registry.
+    pub fn register(registry: &Registry) -> Arc<CheckerMetrics> {
+        let self_lins = registry.counter(
+            "crlh_lins_total",
+            &[("kind", "self")],
+            "Operations linearized at their own LP.",
+        );
+        let helped_lins = registry.counter(
+            "crlh_lins_total",
+            &[("kind", "helped")],
+            "Operations linearized by a rename's linothers helper.",
+        );
+        let rollbacks = registry.counter(
+            "crlh_rollback_total",
+            &[],
+            "Abstraction-relation checks that ran the roll-back mechanism.",
+        );
+        let rollback_depth = registry.histogram(
+            "crlh_rollback_depth",
+            &[],
+            "Helped operations unwound per roll-back (Helplist length).",
+        );
+        let helpset_size = registry.histogram(
+            "crlh_helpset_size",
+            &[],
+            "Threads helped per linothers invocation.",
+        );
+        let violations = ViolationKind::ALL
+            .iter()
+            .map(|k| {
+                registry.gauge(
+                    "crlh_violations",
+                    &[("kind", k.label())],
+                    "Violations flagged so far, by kind.",
+                )
+            })
+            .collect();
+        Arc::new(CheckerMetrics {
+            self_lins,
+            helped_lins,
+            rollbacks,
+            rollback_depth,
+            helpset_size,
+            violations,
+        })
+    }
+
+    /// Record one linearization.
+    #[inline]
+    pub fn lin(&self, helped: bool) {
+        if helped {
+            self.helped_lins.inc();
+        } else {
+            self.self_lins.inc();
+        }
+    }
+
+    /// Record one roll-back (abstraction-relation check) and how many
+    /// helped operations it unwound.
+    #[inline]
+    pub fn rollback(&self, depth: u64) {
+        self.rollbacks.inc();
+        self.rollback_depth.record(depth);
+    }
+
+    /// Record a linothers invocation that helped `n` threads.
+    #[inline]
+    pub fn helpset(&self, n: u64) {
+        self.helpset_size.record(n);
+    }
+
+    /// Record one flagged violation.
+    #[inline]
+    pub fn violation(&self, kind: ViolationKind) {
+        self.violations[kind as usize].add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_indexing_matches_all() {
+        let reg = Registry::new();
+        let m = CheckerMetrics::register(&reg);
+        for k in ViolationKind::ALL {
+            m.violation(k);
+        }
+        let snap = reg.snapshot();
+        let total: f64 = snap
+            .entries
+            .iter()
+            .filter(|e| e.name == "crlh_violations")
+            .map(|e| match &e.value {
+                atomfs_obs::SnapValue::Gauge(v) => *v,
+                _ => 0.0,
+            })
+            .sum();
+        if atomfs_obs::ENABLED {
+            assert_eq!(total, ViolationKind::ALL.len() as f64);
+        } else {
+            assert_eq!(total, 0.0);
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn lin_splits_self_and_helped() {
+        let reg = Registry::new();
+        let m = CheckerMetrics::register(&reg);
+        m.lin(false);
+        m.lin(true);
+        m.lin(true);
+        let text = reg.render_prometheus();
+        assert!(text.contains("crlh_lins_total{kind=\"self\"} 1"));
+        assert!(text.contains("crlh_lins_total{kind=\"helped\"} 2"));
+    }
+}

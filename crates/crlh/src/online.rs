@@ -25,6 +25,17 @@ impl OnlineChecker {
         }
     }
 
+    /// Create an online checker that also records live metrics (helped
+    /// vs. self linearizations, roll-back depth, violation gauges).
+    pub fn with_metrics(
+        cfg: CheckerConfig,
+        metrics: std::sync::Arc<crate::metrics::CheckerMetrics>,
+    ) -> Self {
+        OnlineChecker {
+            inner: Mutex::new(LpChecker::new(cfg).with_metrics(metrics)),
+        }
+    }
+
     /// Number of violations observed so far.
     pub fn violation_count(&self) -> usize {
         self.inner.lock().violations().len()

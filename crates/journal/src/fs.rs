@@ -30,7 +30,7 @@ use atomfs_vfs::{FileSystem, FsError, FsResult, Metadata};
 use parking_lot::Mutex;
 
 use crate::device::{BlockDevice, Disk, DiskError};
-use crate::health::{Health, HealthCounters, HealthReport, RetryPolicy};
+use crate::health::{Health, HealthCounters, HealthReport, RecoverySummary, RetryPolicy};
 use crate::journal::{recover, Journal, SkippedRecord};
 
 /// Trace sink that appends every mutation to the journal, degrading the
@@ -43,6 +43,9 @@ pub struct JournalSink {
     /// should be refusing mutations by then, so this staying 0 is itself
     /// a checked invariant of the degraded-mode tests).
     dropped: AtomicU64,
+    /// How this mount generation was produced: set by recovery, `None`
+    /// for a freshly created mount.
+    recovery: Mutex<Option<RecoverySummary>>,
 }
 
 impl JournalSink {
@@ -54,6 +57,7 @@ impl JournalSink {
             health: Mutex::new(Health::Healthy),
             counters,
             dropped: AtomicU64::new(0),
+            recovery: Mutex::new(None),
         }
     }
 
@@ -77,14 +81,31 @@ impl JournalSink {
         *self.health.lock()
     }
 
-    /// Health plus the fault/retry counters behind it.
+    /// Health plus the fault/retry counters behind it and, for a mount
+    /// produced by recovery, the scrub's skipped-record breakdown.
     pub fn health_report(&self) -> HealthReport {
         HealthReport {
             health: self.health(),
             device_faults: self.counters.device_faults(),
             retries: self.counters.retries(),
+            degraded_flips: self.counters.degraded_flips(),
             dropped_events: self.dropped.load(Ordering::Relaxed),
+            recovery: *self.recovery.lock(),
         }
+    }
+
+    /// The fault/retry/flip counters (shared with the journal).
+    pub fn counters(&self) -> Arc<HealthCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Events dropped while degraded.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn set_recovery(&self, summary: RecoverySummary) {
+        *self.recovery.lock() = Some(summary);
     }
 
     /// Bytes appended to the log so far.
@@ -100,6 +121,7 @@ impl JournalSink {
                 cause,
                 failed_at_seq,
             };
+            self.counters.degraded_flips.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -146,6 +168,13 @@ pub struct RecoveryStats {
     /// Records past the replayed prefix that the recovery scrub refused,
     /// itemized with offset and classification (empty for a clean log).
     pub skipped: Vec<SkippedRecord>,
+}
+
+impl RecoveryStats {
+    /// The `Copy` digest of these stats that [`HealthReport`] carries.
+    pub fn summary(&self) -> RecoverySummary {
+        RecoverySummary::new(self.epoch, self.ops_replayed as u64, &self.skipped)
+    }
 }
 
 /// AtomFS with an operation log under it.
@@ -228,6 +257,7 @@ impl JournaledFs {
         };
         let journal = Journal::create_with(device, recovered.epoch + 1, policy);
         let journaled = Self::with_journal(journal, None);
+        journaled.sink.set_recovery(stats.summary());
         materialize(&*journaled.fs, &state)?;
         // Checkpoint barrier. On failure the sink has already flipped to
         // degraded: the mount is served from memory and acks nothing.
@@ -238,6 +268,12 @@ impl JournaledFs {
     /// The live file system.
     pub fn fs(&self) -> &Arc<AtomFs> {
         &self.fs
+    }
+
+    /// The journal sink under the mount (for health inspection and
+    /// metrics bridging).
+    pub fn sink(&self) -> &Arc<JournalSink> {
+        &self.sink
     }
 
     /// Current storage health of the mount.
@@ -545,6 +581,64 @@ mod tests {
         assert!(r.stat("/survives").is_ok(), "reads still serve from memory");
         assert_eq!(r.mkdir("/new"), Err(FsError::ReadOnly));
         assert_eq!(r.sync(), Err(FsError::Io));
+    }
+
+    #[test]
+    fn health_report_carries_recovery_breakdown() {
+        use crate::device::SECTOR_SIZE;
+        let disk = Arc::new(Disk::new());
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
+        // A fresh mount was not produced by recovery.
+        assert_eq!(jfs.health_report().recovery, None);
+        for i in 0..5 {
+            jfs.mknod(&format!("/f{i}")).unwrap();
+        }
+        jfs.sync().unwrap();
+        let tail = jfs.log_bytes() as usize;
+        drop(jfs);
+        disk.crash(|_| false);
+        // Bit-rot the log's last few bytes: the scrub classifies the final
+        // record as corrupt and recovery proceeds with the prefix.
+        let byte = tail - 10;
+        disk.corrupt_durable((byte / SECTOR_SIZE) as u64, byte % SECTOR_SIZE, 0x40);
+        let (r, stats) = JournaledFs::recover(Arc::clone(&disk)).unwrap();
+        assert!(!stats.skipped.is_empty(), "corruption was not detected");
+        let report = r.health_report();
+        let summary = report.recovery.expect("recovered mount carries summary");
+        assert_eq!(summary, stats.summary(), "report and stats agree");
+        assert_eq!(summary.epoch, stats.epoch);
+        assert_eq!(summary.ops_replayed, stats.ops_replayed as u64);
+        assert_eq!(summary.skipped_total, stats.skipped.len() as u64);
+        // The per-class counts partition the total.
+        assert_eq!(
+            summary.torn
+                + summary.checksum_mismatch
+                + summary.stale_epoch
+                + summary.orphaned
+                + summary.garbage,
+            summary.skipped_total
+        );
+        assert!(summary.checksum_mismatch >= 1, "bit rot shows in its class");
+    }
+
+    #[test]
+    fn degraded_flips_counts_exactly_one_transition() {
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(0).with_permanent_failure_after(4),
+        ));
+        let jfs = JournaledFs::create(dev);
+        assert_eq!(jfs.health_report().degraded_flips, 0);
+        for i in 0..100 {
+            if jfs.mknod(&format!("/f{i}")).is_err() {
+                break;
+            }
+        }
+        let _ = jfs.sync();
+        assert!(jfs.health().is_degraded());
+        // Several appends may fail, but the transition is counted once.
+        assert_eq!(jfs.health_report().degraded_flips, 1);
     }
 
     #[test]

@@ -92,6 +92,9 @@ pub struct HealthCounters {
     pub device_faults: AtomicU64,
     /// Retries issued after transient errors.
     pub retries: AtomicU64,
+    /// Healthy→degraded transitions (0 or 1 per mount generation: the
+    /// first failure wins and the mount stays degraded).
+    pub degraded_flips: AtomicU64,
 }
 
 impl HealthCounters {
@@ -103,6 +106,11 @@ impl HealthCounters {
     /// Retries issued so far.
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Healthy→degraded transitions so far.
+    pub fn degraded_flips(&self) -> u64 {
+        self.degraded_flips.load(Ordering::Relaxed)
     }
 }
 
@@ -128,6 +136,54 @@ impl Health {
     }
 }
 
+/// Fixed-field digest of a recovery's [`RecoveryStats`], kept `Copy` so
+/// [`HealthReport`] stays a plain value: the skipped-record breakdown is
+/// collapsed to per-class counts instead of carrying the itemized list.
+///
+/// [`RecoveryStats`]: crate::fs::RecoveryStats
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverySummary {
+    /// Log generation the mount recovered from.
+    pub epoch: u64,
+    /// Mutations replayed from the surviving prefix.
+    pub ops_replayed: u64,
+    /// Total records the recovery scrub refused.
+    pub skipped_total: u64,
+    /// Skipped: frame intact, tail zeroed (torn write).
+    pub torn: u64,
+    /// Skipped: frame intact, checksum mismatch (bit rot).
+    pub checksum_mismatch: u64,
+    /// Skipped: valid record of an older, overwritten generation.
+    pub stale_epoch: u64,
+    /// Skipped: valid current-generation record stranded past a hole.
+    pub orphaned: u64,
+    /// Skipped: unframeable bytes (scan stops there).
+    pub garbage: u64,
+}
+
+impl RecoverySummary {
+    /// Collapse an itemized skip list into per-class counts.
+    pub fn new(epoch: u64, ops_replayed: u64, skipped: &[crate::journal::SkippedRecord]) -> Self {
+        use crate::journal::RecordClass;
+        let mut s = RecoverySummary {
+            epoch,
+            ops_replayed,
+            skipped_total: skipped.len() as u64,
+            ..RecoverySummary::default()
+        };
+        for rec in skipped {
+            match rec.class {
+                RecordClass::Torn => s.torn += 1,
+                RecordClass::ChecksumMismatch => s.checksum_mismatch += 1,
+                RecordClass::StaleEpoch => s.stale_epoch += 1,
+                RecordClass::Orphaned => s.orphaned += 1,
+                RecordClass::Garbage => s.garbage += 1,
+            }
+        }
+        s
+    }
+}
+
 /// One-stop health snapshot for operators and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthReport {
@@ -137,9 +193,14 @@ pub struct HealthReport {
     pub device_faults: u64,
     /// Retries issued after transient errors.
     pub retries: u64,
+    /// Healthy→degraded transitions.
+    pub degraded_flips: u64,
     /// Mutation events dropped because the mount was already degraded
     /// (should stay 0: degraded mounts refuse mutations up front).
     pub dropped_events: u64,
+    /// How this mount generation came to be: `Some` iff it was produced
+    /// by recovery, with the scrub's skipped-record breakdown.
+    pub recovery: Option<RecoverySummary>,
 }
 
 #[cfg(test)]

@@ -38,10 +38,12 @@ pub mod faults;
 pub mod fs;
 pub mod health;
 pub mod journal;
+pub mod metrics;
 pub mod wire;
 
 pub use device::{BlockDevice, Disk, DiskError, DiskOp};
 pub use faults::{FaultPlan, FaultStats, FaultyDisk};
 pub use fs::{materialize, JournalSink, JournaledFs, RecoveryStats};
-pub use health::{Health, HealthCounters, HealthReport, RetryPolicy};
+pub use health::{Health, HealthCounters, HealthReport, RecoverySummary, RetryPolicy};
+pub use metrics::register_journal_metrics;
 pub use journal::{recover, Journal, RecordClass, Recovered, SkippedRecord};

@@ -1,0 +1,149 @@
+//! Bridge the journal's health state into an `atomfs_obs::Registry`.
+//!
+//! The journal already owns its counters ([`HealthCounters`] is shared
+//! between the log writer and the mount), so rather than moving them the
+//! bridge registers **callback metrics**: closures over the sink's `Arc`s
+//! that are evaluated at render/snapshot time. One registry can therefore
+//! expose the file system's latency histograms, the checker's helper
+//! counters, and the journal's fault state side by side in a single
+//! `render_prometheus()` dump.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use atomfs_obs::{FnKind, Registry};
+
+use crate::fs::{JournalSink, JournaledFs};
+use crate::health::HealthCounters;
+
+/// Register the journal metric family for `sink` in `registry`.
+///
+/// Exposes: `journal_device_faults_total`, `journal_retries_total`,
+/// `journal_degraded_flips_total`, `journal_dropped_events_total`
+/// (counters); `journal_degraded`, `journal_log_bytes`, and — when the
+/// mount was produced by recovery — `journal_recovery_ops_replayed` and
+/// `journal_recovery_skipped{class=...}` (gauges).
+pub fn register_journal_metrics(registry: &Registry, sink: &Arc<JournalSink>) {
+    let counters: Arc<HealthCounters> = sink.counters();
+    let c = Arc::clone(&counters);
+    registry.register_fn(
+        "journal_device_faults_total",
+        &[],
+        "Device errors observed (before retry absorption).",
+        FnKind::Counter,
+        move || c.device_faults.load(Ordering::Relaxed) as f64,
+    );
+    let c = Arc::clone(&counters);
+    registry.register_fn(
+        "journal_retries_total",
+        &[],
+        "Retries issued after transient device errors.",
+        FnKind::Counter,
+        move || c.retries.load(Ordering::Relaxed) as f64,
+    );
+    let c = Arc::clone(&counters);
+    registry.register_fn(
+        "journal_degraded_flips_total",
+        &[],
+        "Healthy-to-degraded transitions of the mount.",
+        FnKind::Counter,
+        move || c.degraded_flips.load(Ordering::Relaxed) as f64,
+    );
+    let s = Arc::clone(sink);
+    registry.register_fn(
+        "journal_dropped_events_total",
+        &[],
+        "Mutation events dropped while degraded (invariant: stays 0).",
+        FnKind::Counter,
+        move || s.dropped_events() as f64,
+    );
+    let s = Arc::clone(sink);
+    registry.register_fn(
+        "journal_degraded",
+        &[],
+        "1 when the mount is read-only degraded, else 0.",
+        FnKind::Gauge,
+        move || {
+            if s.health().is_degraded() {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
+    let s = Arc::clone(sink);
+    registry.register_fn(
+        "journal_log_bytes",
+        &[],
+        "Bytes appended to the current log generation.",
+        FnKind::Gauge,
+        move || s.log_bytes() as f64,
+    );
+    let s = Arc::clone(sink);
+    registry.register_fn(
+        "journal_recovery_ops_replayed",
+        &[],
+        "Mutations replayed by the recovery that produced this mount (0 for a fresh mount).",
+        FnKind::Gauge,
+        move || {
+            s.health_report()
+                .recovery
+                .map_or(0.0, |r| r.ops_replayed as f64)
+        },
+    );
+    for (class, get) in [
+        ("torn", (|r| r.torn) as fn(crate::health::RecoverySummary) -> u64),
+        ("checksum_mismatch", |r| r.checksum_mismatch),
+        ("stale_epoch", |r| r.stale_epoch),
+        ("orphaned", |r| r.orphaned),
+        ("garbage", |r| r.garbage),
+    ] {
+        let s = Arc::clone(sink);
+        registry.register_fn(
+            "journal_recovery_skipped",
+            &[("class", class)],
+            "Records the recovery scrub refused, by classification.",
+            FnKind::Gauge,
+            move || s.health_report().recovery.map_or(0.0, |r| get(r) as f64),
+        );
+    }
+}
+
+impl JournaledFs {
+    /// Bridge this mount's health state into `registry` (see
+    /// [`register_journal_metrics`]).
+    pub fn register_metrics(&self, registry: &Registry) {
+        register_journal_metrics(registry, self.sink());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{BlockDevice, Disk};
+    use atomfs_vfs::FileSystem;
+
+    #[test]
+    fn fresh_mount_renders_zeros() {
+        let disk = Arc::new(Disk::new());
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
+        let reg = Registry::new();
+        jfs.register_metrics(&reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("journal_device_faults_total 0"));
+        assert!(text.contains("journal_degraded 0"));
+        assert!(text.contains("journal_recovery_ops_replayed 0"));
+    }
+
+    #[test]
+    fn log_bytes_gauge_tracks_appends() {
+        let disk = Arc::new(Disk::new());
+        let jfs = JournaledFs::create(Arc::clone(&disk) as Arc<dyn BlockDevice>);
+        let reg = Registry::new();
+        jfs.register_metrics(&reg);
+        assert_eq!(reg.snapshot().gauge("journal_log_bytes"), Some(0.0));
+        jfs.mkdir("/d").unwrap();
+        let bytes = reg.snapshot().gauge("journal_log_bytes").unwrap();
+        assert!(bytes > 0.0, "append did not move the gauge");
+    }
+}

@@ -16,10 +16,12 @@ pub mod dcache;
 pub mod error;
 pub mod fd;
 pub mod fs;
+pub mod metered;
 pub mod overhead;
 pub mod path;
 
 pub use error::{FsError, FsResult};
 pub use fd::{Fd, FdTable, OpenOptions};
 pub use fs::{FileSystem, FileType, Metadata};
+pub use metered::MeteredFs;
 pub use path::{join, normalize, parent_and_name, split};

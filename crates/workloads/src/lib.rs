@@ -23,4 +23,4 @@ pub mod filebench;
 pub mod lfs;
 pub mod opmix;
 
-pub use driver::{run_threads, RunResult};
+pub use driver::{run_threads, run_threads_observed, RunResult};
