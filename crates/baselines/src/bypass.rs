@@ -76,7 +76,7 @@ impl BypassFs {
 
     fn lock(&self, tid: Tid, ino: Inum, tag: PathTag) -> Option<Held> {
         let iref = self.table.get(ino)?;
-        let guard = parking_lot::Mutex::lock_arc(&iref);
+        let guard = iref.lock_owned();
         self.emit(|| Event::Lock { tid, ino, tag });
         Some(Held { ino, guard })
     }
@@ -488,7 +488,7 @@ impl BypassFs {
             return Err(FsError::Exists);
         }
         let snode_ref = self.table.get(snode).expect("linked");
-        let sguard = parking_lot::Mutex::lock_arc(&snode_ref);
+        let sguard = snode_ref.lock_owned();
         self.emit(|| Event::Lock {
             tid,
             ino: snode,

@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use atomfs::AtomFs;
+use atomfs::{AtomFs, AtomFsConfig};
 use atomfs_bench::report::{ratio, Table};
 use atomfs_bench::setups::{build, FIG11_SYSTEMS};
 use atomfs_locksim::{plan_from_scripts, simulate, CostModel, ScriptConverter, ThreadPlan};
@@ -47,9 +47,14 @@ fn webproxy_cfg() -> Webproxy {
     }
 }
 
+/// Simulated mode adds the fast-path ablation row: the same cost model
+/// as "atomfs" but with the optimistic walk disabled at capture time, so
+/// its plans carry the full lock-coupled footprint.
+const SIM_SYSTEMS: [&str; 4] = ["atomfs", "atomfs-nofast", "atomfs-biglock", "ext4-sim"];
+
 fn cost_model(system: &str) -> CostModel {
     match system {
-        "atomfs" => CostModel::atomfs_fuse(),
+        "atomfs" | "atomfs-nofast" => CostModel::atomfs_fuse(),
         "atomfs-biglock" => CostModel::biglock_fuse(),
         "ext4-sim" => CostModel::ext4_syscall(),
         other => panic!("no cost model for {other}"),
@@ -63,9 +68,16 @@ fn capture_plans(
     threads: usize,
     iters: usize,
     model: &CostModel,
+    optimistic: bool,
 ) -> Vec<ThreadPlan> {
     let sink = Arc::new(BufferSink::new());
-    let fs = AtomFs::traced(sink.clone() as Arc<dyn TraceSink>);
+    let fs = AtomFs::traced_with_config(
+        sink.clone() as Arc<dyn TraceSink>,
+        AtomFsConfig {
+            optimistic,
+            ..AtomFsConfig::default()
+        },
+    );
     if personality == "fileserver" {
         fileserver_cfg().setup(&fs).expect("setup");
     } else {
@@ -88,10 +100,11 @@ fn capture_plans(
 
 fn simulated_series(personality: &str, system: &str, iters: usize) -> Vec<f64> {
     let model = cost_model(system);
+    let optimistic = system != "atomfs-nofast";
     THREADS
         .iter()
         .map(|&threads| {
-            let plans = capture_plans(personality, threads, iters, &model);
+            let plans = capture_plans(personality, threads, iters, &model, optimistic);
             let r = simulate(&plans);
             eprint!(".");
             r.throughput()
@@ -145,9 +158,14 @@ fn run_personality(name: &str, iters: usize, measured: bool) {
         },
     );
     println!("paper shape: atomfs > biglock; atomfs ~1.46x biglock throughput at 16 threads (fileserver), ~1.16x (webproxy); ext4 much faster in absolute terms\n");
+    let systems: Vec<&str> = if measured {
+        FIG11_SYSTEMS.to_vec()
+    } else {
+        SIM_SYSTEMS.to_vec()
+    };
     let mut tps: Vec<Vec<f64>> = Vec::new();
     let mut lats: Vec<Vec<Option<(u64, u64)>>> = Vec::new();
-    for sys in FIG11_SYSTEMS {
+    for sys in &systems {
         if measured {
             let series = measured_series(name, sys, iters);
             tps.push(series.iter().map(|(tp, _)| *tp).collect());
@@ -158,7 +176,7 @@ fn run_personality(name: &str, iters: usize, measured: bool) {
     }
     eprintln!();
     let mut header = vec!["threads"];
-    header.extend(FIG11_SYSTEMS);
+    header.extend(systems.iter().copied());
     let mut table = Table::new(&header);
     for (i, &threads) in THREADS.iter().enumerate() {
         let mut cells = vec![threads.to_string()];
@@ -171,7 +189,7 @@ fn run_personality(name: &str, iters: usize, measured: bool) {
     println!();
     let mut t2 = Table::new(&{
         let mut h = vec!["kops/s"];
-        h.extend(FIG11_SYSTEMS);
+        h.extend(systems.iter().copied());
         h
     });
     for (i, &threads) in THREADS.iter().enumerate() {
@@ -188,7 +206,7 @@ fn run_personality(name: &str, iters: usize, measured: bool) {
         println!();
         let mut t3 = Table::new(&{
             let mut h = vec!["p50/p99 us"];
-            h.extend(FIG11_SYSTEMS);
+            h.extend(systems.iter().copied());
             h
         });
         for (i, &threads) in THREADS.iter().enumerate() {
@@ -206,7 +224,10 @@ fn run_personality(name: &str, iters: usize, measured: bool) {
         t3.print();
     }
     let atomfs_16 = tps[0][THREADS.len() - 1];
-    let biglock_16 = tps[1][THREADS.len() - 1];
+    let biglock_16 = tps[systems
+        .iter()
+        .position(|s| *s == "atomfs-biglock")
+        .expect("biglock row")][THREADS.len() - 1];
     println!(
         "\natomfs / biglock throughput at 16 threads: {} (paper: 1.46x fileserver, 1.16x webproxy)",
         ratio(atomfs_16 / biglock_16)

@@ -15,6 +15,11 @@ pub struct AtomFsConfig {
     pub max_inodes: usize,
     /// Maximum number of 4 KiB data blocks.
     pub max_blocks: usize,
+    /// Whether path lookups may use the optimistic (seqlock-validated,
+    /// rcu-walk-style) fast path before falling back to lock coupling.
+    /// On by default; turn off to force the fully pessimistic walk —
+    /// the differential tests and benchmarks compare the two.
+    pub optimistic: bool,
 }
 
 impl Default for AtomFsConfig {
@@ -22,6 +27,7 @@ impl Default for AtomFsConfig {
         AtomFsConfig {
             max_inodes: 1 << 20,
             max_blocks: 1 << 20, // 4 GiB of file data
+            optimistic: true,
         }
     }
 }
@@ -57,6 +63,7 @@ pub struct AtomFs {
     pub(crate) store: BlockStore,
     pub(crate) sink: Option<Arc<dyn TraceSink>>,
     pub(crate) metrics: Option<Arc<FsMetrics>>,
+    pub(crate) optimistic: bool,
 }
 
 impl Default for AtomFs {
@@ -78,6 +85,7 @@ impl AtomFs {
             store: BlockStore::new(cfg.max_blocks),
             sink: None,
             metrics: None,
+            optimistic: cfg.optimistic,
         }
     }
 
@@ -93,6 +101,7 @@ impl AtomFs {
             store: BlockStore::new(cfg.max_blocks),
             sink: Some(sink),
             metrics: None,
+            optimistic: cfg.optimistic,
         }
     }
 
@@ -108,6 +117,13 @@ impl AtomFs {
     /// Whether instrumentation is active.
     pub fn is_traced(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Whether the optimistic fast path is enabled (see
+    /// [`AtomFsConfig::optimistic`]).
+    #[inline]
+    pub fn opt_enabled(&self) -> bool {
+        self.optimistic
     }
 
     /// The attached metrics bundle, if any. Compiles to `None` under the

@@ -26,7 +26,7 @@
 //! handles on untraced instances (debug builds assert this).
 
 use atomfs_trace::{current_tid, Inum, PathTag};
-use atomfs_vfs::path::normalize;
+use atomfs_vfs::path::normalize_ref;
 use atomfs_vfs::{FsResult, Metadata};
 
 use crate::fs::AtomFs;
@@ -67,7 +67,7 @@ impl AtomFs {
             !self.is_traced(),
             "inode handles are an unverified extension; use an untraced AtomFs"
         );
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         let mut node = self
             .walk(tid, &comps, PathTag::Common)
@@ -112,17 +112,34 @@ impl AtomFs {
     }
 
     /// Write through a handle at `offset`. Works after `unlink`.
+    ///
+    /// Handle mutations bypass [`crate::walk::Locked`], so they open and
+    /// close the inode's seqlock write window themselves — otherwise a
+    /// concurrent optimistic `stat` would keep serving the stale packed
+    /// metadata word.
     pub fn write_handle(&self, handle: &Handle, offset: u64, data: &[u8]) -> FsResult<usize> {
         let mut guard = handle.iref.lock();
-        let f = guard.as_file_mut()?;
-        f.write(&self.store, offset, data)
+        guard.as_file()?; // type-check before opening the write window
+        handle.iref.write_begin();
+        let r = guard
+            .as_file_mut()
+            .expect("checked")
+            .write(&self.store, offset, data);
+        handle.iref.write_end(&guard);
+        r
     }
 
     /// Resize through a handle.
     pub fn truncate_handle(&self, handle: &Handle, size: u64) -> FsResult<()> {
         let mut guard = handle.iref.lock();
-        let f = guard.as_file_mut()?;
-        f.truncate(&self.store, size)
+        guard.as_file()?;
+        handle.iref.write_begin();
+        let r = guard
+            .as_file_mut()
+            .expect("checked")
+            .truncate(&self.store, size);
+        handle.iref.write_end(&guard);
+        r
     }
 
     /// Metadata through a handle. `nlink` is 0 once the file is unlinked.
@@ -140,16 +157,19 @@ impl AtomFs {
     /// file frees its data blocks (the deferred half of `unlink`).
     pub fn close_handle(&self, handle: Handle) {
         let mut guard = handle.iref.lock();
-        if let Ok(f) = guard.as_file_mut() {
-            if f.unpin() {
-                f.clear(&self.store);
-            }
+        let clear = guard.as_file_mut().is_ok_and(|f| f.unpin());
+        if clear {
+            // The deferred unlink finally destroys data: republish
+            // through the seqlock like any other mutation.
+            handle.iref.write_begin();
+            guard.as_file_mut().expect("checked").clear(&self.store);
+            handle.iref.write_end(&guard);
         }
     }
 
     /// Whether the inode at `path` currently has open handles (test aid).
     pub fn handle_count(&self, path: &str) -> FsResult<u32> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         let node = self
             .walk(tid, &comps, PathTag::Common)

@@ -51,11 +51,13 @@
 
 pub mod blocks;
 pub mod dirhash;
+pub(crate) mod fastdir;
 pub mod fs;
 pub mod handles;
 pub mod inode;
 pub mod metrics;
 pub mod ops;
+pub(crate) mod optwalk;
 pub mod table;
 pub mod walk;
 

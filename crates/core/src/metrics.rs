@@ -171,6 +171,10 @@ pub struct FsMetrics {
     lock_wait_ns: [Arc<Histogram>; 3],
     lock_hold_ns: [Arc<Histogram>; 3],
     walk_depth: Arc<Histogram>,
+    opt_attempts: Arc<Counter>,
+    opt_hits: Arc<Counter>,
+    opt_retries: Arc<Counter>,
+    opt_fallbacks: Arc<Counter>,
 }
 
 thread_local! {
@@ -249,6 +253,26 @@ impl FsMetrics {
             &[],
             "Lock-coupling steps per path traversal (sampled: observed ops only).",
         );
+        let opt_attempts = registry.counter(
+            "atomfs_opt_attempts_total",
+            &[],
+            "Operations that entered the optimistic fast path (sampled: observed ops only).",
+        );
+        let opt_hits = registry.counter(
+            "atomfs_opt_hits_total",
+            &[],
+            "Operations the optimistic fast path completed (sampled: observed ops only).",
+        );
+        let opt_retries = registry.counter(
+            "atomfs_opt_retries_total",
+            &[],
+            "Optimistic walk attempts abandoned by a failed seqlock validation (exact).",
+        );
+        let opt_fallbacks = registry.counter(
+            "atomfs_opt_fallbacks_total",
+            &[],
+            "Operations that exhausted their optimistic attempts and fell back to lock coupling (exact).",
+        );
         Arc::new(FsMetrics {
             clock,
             op_sample,
@@ -259,6 +283,10 @@ impl FsMetrics {
             lock_wait_ns,
             lock_hold_ns,
             walk_depth,
+            opt_attempts,
+            opt_hits,
+            opt_retries,
+            opt_fallbacks,
         })
     }
 
@@ -351,6 +379,39 @@ impl FsMetrics {
         if Self::observed() {
             self.walk_depth.record(steps);
         }
+    }
+
+    /// Record that an operation entered the optimistic fast path
+    /// (observed ops only — attempts and hits ride the same sampling
+    /// flag, so their ratio is an unbiased fast-path hit rate).
+    #[inline]
+    pub fn opt_attempt(&self) {
+        if Self::observed() {
+            self.opt_attempts.inc();
+        }
+    }
+
+    /// Record that the optimistic fast path completed an operation
+    /// (observed ops only; pairs with [`Self::opt_attempt`]).
+    #[inline]
+    pub fn opt_hit(&self) {
+        if Self::observed() {
+            self.opt_hits.inc();
+        }
+    }
+
+    /// Record a failed seqlock validation (exact: retries are the rare,
+    /// interesting events — exactly what sampling would lose).
+    #[inline]
+    pub fn opt_retry(&self) {
+        self.opt_retries.inc();
+    }
+
+    /// Record an optimistic-path give-up (exact; the op then runs the
+    /// pessimistic lock-coupled walk).
+    #[inline]
+    pub fn opt_fallback(&self) {
+        self.opt_fallbacks.inc();
     }
 
     /// Whether this acquisition should have its hold time measured:

@@ -5,13 +5,17 @@
 //! what the CRL-H checker replays:
 //!
 //! 1. `OpBegin` with the abstract operation description;
-//! 2. `Lock`/`Unlock` events for the lock-coupling walk;
+//! 2. `Lock`/`Unlock` events for the lock-coupling walk — or
+//!    `OptRead`/`OptValidate`/`OptRetry` events for the optimistic walk
+//!    (see [`crate::optwalk`]);
 //! 3. `Mutate` events for each inode-granularity change, emitted inside
 //!    the critical section;
 //! 4. exactly one `Lp` event, emitted **at the instant the outcome is
 //!    decided while the deciding locks are still held** — after the last
 //!    mutation for successful updates (Figure 2's LP markers), or at the
-//!    failure point for errors;
+//!    failure point for errors. Fully lockless fast-path completions have
+//!    no separate `Lp`: their successful `OptValidate` *is* the
+//!    linearization point;
 //! 5. `OpEnd` with the concrete result.
 //!
 //! Operations that fail before touching any shared state (unparseable
@@ -23,14 +27,22 @@
 //! walking both branches, release it only once both parent directories are
 //! locked, then lock target inodes (destination first, Figure 2), mutate,
 //! and pass the LP at which the checker runs the `linothers` helper.
+//! Renames never take the fast path: they are the helper-mechanism case
+//! and keep the full two-phase pessimistic traversal.
 
 use atomfs_trace::{current_tid, Event, MicroOp, OpDesc, OpRet, PathTag, StatRet, Tid};
-use atomfs_vfs::path::normalize;
+use atomfs_vfs::path::normalize_ref;
 use atomfs_vfs::{FileSystem, FileType, FsError, FsResult, Metadata};
 
 use crate::fs::AtomFs;
 use crate::metrics::{FsMetrics, OpKind};
 use crate::walk::Locked;
+
+/// Materialize borrowed path components for an event payload (only built
+/// inside `emit` closures, so untraced instances never allocate here).
+pub(crate) fn owned(comps: &[&str]) -> Vec<String> {
+    comps.iter().map(|s| s.to_string()).collect()
+}
 
 impl AtomFs {
     /// Begin a metered operation: sample-gate it and read the clock if
@@ -57,7 +69,12 @@ impl AtomFs {
     /// `Vec` — failures are routine under the contended mixes the
     /// scalability experiments run (EEXIST/ENOENT are expected results),
     /// so this path is hot.
-    fn fail(&self, tid: Tid, err: FsError, held: impl IntoIterator<Item = Locked>) -> FsError {
+    pub(crate) fn fail(
+        &self,
+        tid: Tid,
+        err: FsError,
+        held: impl IntoIterator<Item = Locked>,
+    ) -> FsError {
         self.emit(|| Event::Lp { tid });
         for l in held {
             self.unlock(tid, l);
@@ -72,16 +89,16 @@ impl AtomFs {
     }
 
     fn create_entry(&self, path: &str, ftype: FileType) -> FsResult<()> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: match ftype {
                 FileType::File => OpDesc::Mknod {
-                    path: comps.clone(),
+                    path: owned(&comps),
                 },
                 FileType::Dir => OpDesc::Mkdir {
-                    path: comps.clone(),
+                    path: owned(&comps),
                 },
             },
         });
@@ -96,60 +113,77 @@ impl AtomFs {
         result
     }
 
-    fn create_inner(&self, tid: Tid, comps: &[String], ftype: FileType) -> FsResult<()> {
+    fn create_inner(&self, tid: Tid, comps: &[&str], ftype: FileType) -> FsResult<()> {
         let Some((name, parent)) = comps.split_last() else {
             // Creating "/" always fails: the root exists.
             self.stateless_lp(tid);
             return Err(FsError::Exists);
         };
+        if let Some(result) = self.opt_create(tid, parent, name, ftype) {
+            return result;
+        }
         let mut p = self
             .walk(tid, parent, PathTag::Common)
             .map_err(|(e, held)| self.fail(tid, e, [held]))?;
         if p.as_dir().is_err() {
             return Err(self.fail(tid, FsError::NotDir, [p]));
         }
-        if p.as_dir().expect("checked").lookup(name).is_some() {
-            return Err(self.fail(tid, FsError::Exists, [p]));
+        match self.create_tail(tid, name, &mut p, ftype) {
+            Ok(()) => {
+                self.emit(|| Event::Lp { tid });
+                self.unlock(tid, p);
+                Ok(())
+            }
+            Err(e) => Err(self.fail(tid, e, [p])),
         }
-        let (ino, _iref) = match self.table.alloc(ftype) {
-            Ok(x) => x,
-            Err(e) => return Err(self.fail(tid, e, [p])),
-        };
+    }
+
+    /// The locked tail of `mknod`/`mkdir`: `p` is the locked parent
+    /// directory (verified). Shared by the pessimistic walk and the
+    /// optimistic fast path (which claims its validation chain before
+    /// calling this). On error the caller emits the failure LP and
+    /// releases `p`.
+    pub(crate) fn create_tail(
+        &self,
+        tid: Tid,
+        name: &str,
+        p: &mut Locked,
+        ftype: FileType,
+    ) -> FsResult<()> {
+        if p.as_dir().expect("caller verified").lookup(name).is_some() {
+            return Err(FsError::Exists);
+        }
+        let (ino, iref) = self.table.alloc(ftype)?;
         self.emit(|| Event::Mutate {
             tid,
             mop: MicroOp::Create { ino, ftype },
         });
         let pino = p.ino;
-        let inserted = p
-            .as_dir_mut()
-            .expect("checked")
-            .insert(name, ino, ftype.is_dir());
+        let inserted = p.dir_insert(name, &iref, ftype.is_dir());
         debug_assert!(inserted, "existence was checked under the same lock");
         self.emit(|| Event::Mutate {
             tid,
             mop: MicroOp::Ins {
                 parent: pino,
-                name: name.clone(),
+                name: name.to_string(),
                 child: ino,
             },
         });
-        self.emit(|| Event::Lp { tid });
-        self.unlock(tid, p);
         Ok(())
     }
 
     fn remove_entry(&self, path: &str, want_dir: bool) -> FsResult<()> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: if want_dir {
                 OpDesc::Rmdir {
-                    path: comps.clone(),
+                    path: owned(&comps),
                 }
             } else {
                 OpDesc::Unlink {
-                    path: comps.clone(),
+                    path: owned(&comps),
                 }
             },
         });
@@ -164,7 +198,7 @@ impl AtomFs {
         result
     }
 
-    fn remove_inner(&self, tid: Tid, comps: &[String], want_dir: bool) -> FsResult<()> {
+    fn remove_inner(&self, tid: Tid, comps: &[&str], want_dir: bool) -> FsResult<()> {
         let Some((name, parent)) = comps.split_last() else {
             self.stateless_lp(tid);
             return Err(if want_dir {
@@ -173,13 +207,31 @@ impl AtomFs {
                 FsError::IsDir // unlink("/")
             });
         };
-        let mut p = self
+        if let Some(result) = self.opt_remove(tid, parent, name, want_dir) {
+            return result;
+        }
+        let p = self
             .walk(tid, parent, PathTag::Common)
             .map_err(|(e, held)| self.fail(tid, e, [held]))?;
         if p.as_dir().is_err() {
             return Err(self.fail(tid, FsError::NotDir, [p]));
         }
-        let Some(child_ino) = p.as_dir().expect("checked").lookup(name) else {
+        self.remove_tail(tid, name, p, want_dir)
+    }
+
+    /// The locked tail of `unlink`/`rmdir`: `p` is the locked parent
+    /// directory (verified). Continues lock coupling into the victim,
+    /// mutates, emits the LP, and releases everything — including the
+    /// failure paths (unlike [`AtomFs::create_tail`], this consumes `p`
+    /// because the lock-release order interleaves with the mutations).
+    pub(crate) fn remove_tail(
+        &self,
+        tid: Tid,
+        name: &str,
+        mut p: Locked,
+        want_dir: bool,
+    ) -> FsResult<()> {
+        let Some(child_ino) = p.as_dir().expect("caller verified").lookup(name) else {
             return Err(self.fail(tid, FsError::NotFound, [p]));
         };
         let child_ref = self
@@ -199,16 +251,13 @@ impl AtomFs {
             return Err(self.fail(tid, FsError::NotEmpty, [c, p]));
         }
         let pino = p.ino;
-        let removed = p
-            .as_dir_mut()
-            .expect("checked")
-            .remove(name, cftype.is_dir());
+        let removed = p.dir_remove(name, cftype.is_dir());
         debug_assert_eq!(removed, Some(child_ino));
         self.emit(|| Event::Mutate {
             tid,
             mop: MicroOp::Del {
                 parent: pino,
-                name: name.clone(),
+                name: name.to_string(),
                 child: child_ino,
             },
         });
@@ -223,6 +272,7 @@ impl AtomFs {
         let traced = self.is_traced();
         let old = (traced && c.as_file().is_ok())
             .then(|| c.as_file().expect("checked").snapshot(&self.store));
+        c.touch();
         let cleared_now = crate::handles::release_or_defer(&mut c.guard, &self.store);
         if cleared_now {
             if let Some(old) = old.filter(|o| !o.is_empty()) {
@@ -248,7 +298,7 @@ impl AtomFs {
         Ok(())
     }
 
-    fn rename_inner(&self, tid: Tid, src: &[String], dst: &[String]) -> FsResult<()> {
+    fn rename_inner(&self, tid: Tid, src: &[&str], dst: &[&str]) -> FsResult<()> {
         if src.is_empty() || dst.is_empty() {
             self.stateless_lp(tid);
             return Err(FsError::Busy);
@@ -385,25 +435,21 @@ impl AtomFs {
         let mut dnode_freed = None;
         if let Some(mut d) = dnode {
             let d_is_dir = d.ftype().is_dir();
-            let removed = ddir
-                .as_mut()
-                .unwrap_or(&mut sdir)
-                .as_dir_mut()
-                .expect("checked")
-                .remove(dn, d_is_dir);
+            let removed = ddir.as_mut().unwrap_or(&mut sdir).dir_remove(dn, d_is_dir);
             debug_assert_eq!(removed, Some(d.ino));
             let (dino, dft) = (d.ino, d.ftype());
             self.emit(|| Event::Mutate {
                 tid,
                 mop: MicroOp::Del {
                     parent: ddir_ino,
-                    name: dn.clone(),
+                    name: dn.to_string(),
                     child: dino,
                 },
             });
             let traced = self.is_traced();
             let old = (traced && d.as_file().is_ok())
                 .then(|| d.as_file().expect("checked").snapshot(&self.store));
+            d.touch();
             if crate::handles::release_or_defer(&mut d.guard, &self.store) {
                 if let Some(old) = old.filter(|o| !o.is_empty()) {
                     self.emit(|| Event::Mutate {
@@ -425,28 +471,26 @@ impl AtomFs {
             });
             dnode_freed = Some(d);
         }
-        let removed = sdir.as_dir_mut().expect("checked").remove(sn, s_is_dir);
+        let removed = sdir.dir_remove(sn, s_is_dir);
         debug_assert_eq!(removed, Some(snode_ino));
         self.emit(|| Event::Mutate {
             tid,
             mop: MicroOp::Del {
                 parent: sdir_ino,
-                name: sn.clone(),
+                name: sn.to_string(),
                 child: snode_ino,
             },
         });
         let inserted = ddir
             .as_mut()
             .unwrap_or(&mut sdir)
-            .as_dir_mut()
-            .expect("checked")
-            .insert(dn, snode_ino, s_is_dir);
+            .dir_insert(dn, &snode_ref, s_is_dir);
         debug_assert!(inserted, "destination entry was removed or absent");
         self.emit(|| Event::Mutate {
             tid,
             mop: MicroOp::Ins {
                 parent: ddir_ino,
-                name: dn.clone(),
+                name: dn.to_string(),
                 child: snode_ino,
             },
         });
@@ -474,7 +518,7 @@ impl AtomFs {
     fn with_node<T>(
         &self,
         tid: Tid,
-        comps: &[String],
+        comps: &[&str],
         f: impl FnOnce(&mut Locked) -> FsResult<T>,
     ) -> FsResult<T> {
         let mut node = self
@@ -571,14 +615,14 @@ impl FileSystem for AtomFs {
 /// the `FileSystem` impl above wraps each in one latency timer.
 impl AtomFs {
     fn rename_outer(&self, src: &str, dst: &str) -> FsResult<()> {
-        let src = normalize(src)?;
-        let dst = normalize(dst)?;
+        let src = normalize_ref(src)?;
+        let dst = normalize_ref(dst)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: OpDesc::Rename {
-                src: src.clone(),
-                dst: dst.clone(),
+                src: owned(&src),
+                dst: owned(&dst),
             },
         });
         let result = self.rename_inner(tid, &src, &dst);
@@ -593,15 +637,18 @@ impl AtomFs {
     }
 
     fn stat_outer(&self, path: &str) -> FsResult<Metadata> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: OpDesc::Stat {
-                path: comps.clone(),
+                path: owned(&comps),
             },
         });
-        let result = self.with_node(tid, &comps, |node| Ok(node.metadata(node.ino)));
+        let result = match self.opt_stat(tid, &comps) {
+            Some(r) => r,
+            None => self.with_node(tid, &comps, |node| Ok(node.metadata(node.ino))),
+        };
         self.emit(|| Event::OpEnd {
             tid,
             ret: match &result {
@@ -613,15 +660,18 @@ impl AtomFs {
     }
 
     fn readdir_outer(&self, path: &str) -> FsResult<Vec<String>> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: OpDesc::Readdir {
-                path: comps.clone(),
+                path: owned(&comps),
             },
         });
-        let result = self.with_node(tid, &comps, |node| Ok(node.as_dir()?.names()));
+        let result = match self.opt_readdir(tid, &comps) {
+            Some(r) => r,
+            None => self.with_node(tid, &comps, |node| Ok(node.as_dir()?.names())),
+        };
         self.emit(|| Event::OpEnd {
             tid,
             ret: match &result {
@@ -633,20 +683,23 @@ impl AtomFs {
     }
 
     fn read_outer(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: OpDesc::Read {
-                path: comps.clone(),
+                path: owned(&comps),
                 offset,
                 len: buf.len(),
             },
         });
-        let result = self.with_node(tid, &comps, |node| {
-            let f = node.as_file()?;
-            Ok(f.read(&self.store, offset, buf))
-        });
+        let result = match self.opt_read(tid, &comps, offset, buf) {
+            Some(r) => r,
+            None => self.with_node(tid, &comps, |node| {
+                let f = node.as_file()?;
+                Ok(f.read(&self.store, offset, buf))
+            }),
+        };
         self.emit(|| Event::OpEnd {
             tid,
             ret: match &result {
@@ -658,31 +711,35 @@ impl AtomFs {
     }
 
     fn write_outer(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: OpDesc::Write {
-                path: comps.clone(),
+                path: owned(&comps),
                 offset,
                 data: data.to_vec(),
             },
         });
         let traced = self.is_traced();
-        let result = self.with_node(tid, &comps, |node| {
+        let body = |fs: &AtomFs, node: &mut Locked| {
             let ino = node.ino;
             let f = node.as_file_mut()?;
-            let old = traced.then(|| f.snapshot(&self.store));
-            let n = f.write(&self.store, offset, data)?;
+            let old = traced.then(|| f.snapshot(&fs.store));
+            let n = f.write(&fs.store, offset, data)?;
             if let Some(old) = old {
-                let new = f.snapshot(&self.store);
-                self.emit(|| Event::Mutate {
+                let new = f.snapshot(&fs.store);
+                fs.emit(|| Event::Mutate {
                     tid,
                     mop: MicroOp::SetData { ino, old, new },
                 });
             }
             Ok(n)
-        });
+        };
+        let result = match self.opt_file_mutation(tid, &comps, &body) {
+            Some(r) => r,
+            None => self.with_node(tid, &comps, |node| body(self, node)),
+        };
         self.emit(|| Event::OpEnd {
             tid,
             ret: match &result {
@@ -694,30 +751,34 @@ impl AtomFs {
     }
 
     fn truncate_outer(&self, path: &str, size: u64) -> FsResult<()> {
-        let comps = normalize(path)?;
+        let comps = normalize_ref(path)?;
         let tid = current_tid();
         self.emit(|| Event::OpBegin {
             tid,
             op: OpDesc::Truncate {
-                path: comps.clone(),
+                path: owned(&comps),
                 size,
             },
         });
         let traced = self.is_traced();
-        let result = self.with_node(tid, &comps, |node| {
+        let body = |fs: &AtomFs, node: &mut Locked| {
             let ino = node.ino;
             let f = node.as_file_mut()?;
-            let old = traced.then(|| f.snapshot(&self.store));
-            f.truncate(&self.store, size)?;
+            let old = traced.then(|| f.snapshot(&fs.store));
+            f.truncate(&fs.store, size)?;
             if let Some(old) = old {
-                let new = f.snapshot(&self.store);
-                self.emit(|| Event::Mutate {
+                let new = f.snapshot(&fs.store);
+                fs.emit(|| Event::Mutate {
                     tid,
                     mop: MicroOp::SetData { ino, old, new },
                 });
             }
             Ok(())
-        });
+        };
+        let result = match self.opt_file_mutation(tid, &comps, &body) {
+            Some(r) => r,
+            None => self.with_node(tid, &comps, |node| body(self, node)),
+        };
         self.emit(|| Event::OpEnd {
             tid,
             ret: match &result {

@@ -1,0 +1,576 @@
+//! The optimistic (rcu-walk-style) path traversal fast path.
+//!
+//! A pessimistic walk serializes every traversal through the root's lock.
+//! The fast path instead traverses root→target with **zero lock
+//! acquisitions**, reading each directory's lock-free index
+//! ([`crate::fastdir::FastDir`]) and validating with the per-inode
+//! sequence counters ([`crate::table::InodeSlot`]'s seqlock): every
+//! resolved step re-checks the parent's sequence number *after* reading
+//! the child pointer (hand-over-hand validation), and the whole recorded
+//! chain of `(inode, sequence)` pairs is re-validated at the end. Any
+//! mismatch abandons the attempt; after [`MAX_OPT_ATTEMPTS`] failures the
+//! operation falls back to the pessimistic lock-coupled walk, so the fast
+//! path is a pure optimization — never a liveness hazard.
+//!
+//! # Completion modes
+//!
+//! * **Fully lockless** — `stat` and `readdir`, plus any operation whose
+//!   outcome is already decided by the lockless walk (`ENOENT`/`ENOTDIR`
+//!   on the way down, `EISDIR` at a file): read the answer from the
+//!   atomically published metadata word / index, then *claim* it. The
+//!   successful `OptValidate` event is the operation's linearization
+//!   point — there is no separate `Lp`.
+//! * **Target-locked** — `read`/`write`/`truncate` lock just the terminal
+//!   file (never the directories above it) and re-validate the chain
+//!   under that lock.
+//! * **Parent-locked** — `mknod`/`mkdir`/`unlink`/`rmdir` use the fast
+//!   path to *reach* the parent, lock only it, re-validate, and then run
+//!   the same locked tail as the pessimistic path. `rename` never takes
+//!   the fast path: it is the helper-mechanism case (§5.2) and keeps its
+//!   full two-phase pessimistic traversal.
+//!
+//! # Why validation is re-checked around the claim
+//!
+//! In a traced build the claim is an event with a total-order stamp, and
+//! the CRL-H checker admits the validated chain as the descriptor's
+//! LockPath witness *at that stamp*. The runtime therefore validates both
+//! immediately before and immediately after emitting `OptValidate{ok}`:
+//! sequence counters only move forward, so "valid before ∧ valid after"
+//! proves the chain was valid at the instant the event was stamped,
+//! wherever in between that instant fell. Untraced builds have no stamp
+//! to certify and validate once.
+//!
+//! # Why mutations probe ancestor locks and reads do not
+//!
+//! A mutation's linearization point comes *after* its claim (at its `Lp`,
+//! under the parent lock). In that window an in-flight pessimistic
+//! operation pinned on some chain ancestor — one a concurrent `rename`
+//! may have already helped, i.e. logically linearized *in the past* —
+//! could still be about to apply an effect our locked tail's decision
+//! depends on (its sequence counters are still even: it has not mutated
+//! yet). Bypassing it would reorder us after a linearization we
+//! concretely preceded. The probe (`is_locked` on every strict ancestor
+//! of the locked node, checked at both claim validations) forces the fast
+//! path to fall back exactly when such a thread may exist, restoring the
+//! non-bypassable criterion (§5.1). Fully lockless *reads* linearize at
+//! the claim itself and commute with everything that linearizes later,
+//! so they skip the probe — that asymmetry is what makes the read path
+//! zero-cost under lock contention.
+
+use std::sync::atomic::{fence, Ordering};
+
+use atomfs_trace::{Event, PathTag, Tid};
+use atomfs_vfs::{FileType, FsError, FsResult, Metadata};
+
+use crate::fs::AtomFs;
+use crate::table::{InodeRef, InodeSlot};
+use crate::walk::Locked;
+
+/// How many optimistic attempts an operation makes before falling back
+/// to the pessimistic walk. Retries are cheap (a failed attempt holds no
+/// locks), but under heavy write interference the pessimistic walk makes
+/// guaranteed progress, so the bound is small.
+pub(crate) const MAX_OPT_ATTEMPTS: usize = 3;
+
+/// One optimistic walk: each resolved inode with the (even) sequence
+/// number it was observed at. `chain[0]` is the root; `chain[i]` was
+/// read from `chain[i-1]`'s directory index.
+type Chain<'a> = Vec<(&'a InodeRef, u64)>;
+
+/// Re-check every recorded sequence counter. Sequence numbers are
+/// recorded even (no writer inside) and only ever increase, so equality
+/// means each inode's published state is exactly what the walk read.
+fn validate_chain(chain: &Chain<'_>) -> bool {
+    fence(Ordering::Acquire);
+    chain.iter().all(|&(slot, seq)| slot.seq_read() == seq)
+}
+
+/// The mutation-only probe: no strict ancestor of the (locked) final
+/// chain node may be locked by anyone (module docs). The final node is
+/// excluded — the caller itself holds that lock.
+fn ancestors_unlocked(chain: &Chain<'_>) -> bool {
+    chain[..chain.len() - 1].iter().all(|&(slot, _)| !slot.is_locked())
+}
+
+impl AtomFs {
+    /// Walk `comps` locklessly from the root. Returns the observed chain
+    /// plus `Some(error)` when the walk itself decided the outcome
+    /// (missing entry, file used as directory), or `Err(())` when a
+    /// hand-over-hand validation failed mid-walk.
+    fn opt_resolve<'a>(
+        &'a self,
+        tid: Tid,
+        comps: &[&str],
+    ) -> Result<(Chain<'a>, Option<FsError>), ()> {
+        let root = self.table.root_ref();
+        let rseq = root.seq_read();
+        if rseq & 1 == 1 {
+            return Err(());
+        }
+        self.emit(|| Event::OptRead {
+            tid,
+            ino: root.ino(),
+        });
+        let mut chain: Chain<'a> = Vec::with_capacity(comps.len() + 1);
+        chain.push((root, rseq));
+        for name in comps {
+            let &(cur, cur_seq) = chain.last().expect("chain starts at root");
+            let Some(fast) = cur.fast() else {
+                // A file on the path: `ENOTDIR`, decided locklessly. The
+                // slot's type never changes, so this holds whenever the
+                // chain validates.
+                return Ok((chain, Some(FsError::NotDir)));
+            };
+            match fast.lookup(name) {
+                None => {
+                    // Missing entry: trustworthy iff `cur` hasn't changed,
+                    // which the final chain validation re-checks.
+                    return Ok((chain, Some(FsError::NotFound)));
+                }
+                Some((ino, child)) => {
+                    let cseq = child.seq_read();
+                    // Hand-over-hand: re-check the parent *after* reading
+                    // the child pointer and its sequence. An odd child
+                    // sequence means a writer is mid-update in it.
+                    fence(Ordering::Acquire);
+                    if cseq & 1 == 1 || cur.seq_read() != cur_seq {
+                        return Err(());
+                    }
+                    self.emit(|| Event::OptRead { tid, ino });
+                    chain.push((child, cseq));
+                }
+            }
+        }
+        Ok((chain, None))
+    }
+
+    /// Record one abandoned attempt: emit `OptValidate{ok:false}` (unless
+    /// the attempt already claimed — then the claim event is on the trace
+    /// and only the retry marker is owed) followed by `OptRetry`, and
+    /// count it. The caller then either re-attempts or falls back to
+    /// pessimistic locking.
+    fn opt_attempt_failed(&self, tid: Tid, claimed: bool) {
+        if !claimed {
+            self.emit(|| Event::OptValidate { tid, ok: false });
+        }
+        self.emit(|| Event::OptRetry { tid });
+        if let Some(m) = self.m() {
+            m.opt_retry();
+        }
+    }
+
+    /// Claim a fast-path completion: validate, emit `OptValidate{ok:true}`,
+    /// and validate again to certify the chain at the event's stamp
+    /// (module docs). With `probe`, both validations also require every
+    /// strict ancestor of the final chain node to be unlocked. On failure
+    /// the attempt's closing events are emitted and `false` returned.
+    fn opt_claim(&self, tid: Tid, chain: &Chain<'_>, probe: bool) -> bool {
+        let valid = || validate_chain(chain) && (!probe || ancestors_unlocked(chain));
+        if !valid() {
+            self.opt_attempt_failed(tid, false);
+            return false;
+        }
+        if !self.is_traced() {
+            // No stamp to certify: the validation above is the commit.
+            return true;
+        }
+        self.emit(|| Event::OptValidate { tid, ok: true });
+        if valid() {
+            true
+        } else {
+            self.opt_attempt_failed(tid, true);
+            false
+        }
+    }
+
+    #[inline]
+    fn count_attempt(&self) {
+        if let Some(m) = self.m() {
+            m.opt_attempt();
+        }
+    }
+
+    #[inline]
+    fn count_hit(&self) {
+        if let Some(m) = self.m() {
+            m.opt_hit();
+        }
+    }
+
+    #[inline]
+    fn count_fallback(&self) {
+        if let Some(m) = self.m() {
+            m.opt_fallback();
+        }
+    }
+
+    /// Lockless `stat`: the answer is one atomic load of the packed
+    /// metadata word.
+    pub(crate) fn opt_stat(&self, tid: Tid, comps: &[&str]) -> Option<FsResult<Metadata>> {
+        if !self.opt_enabled() {
+            return None;
+        }
+        self.count_attempt();
+        for _ in 0..MAX_OPT_ATTEMPTS {
+            let Ok((chain, end)) = self.opt_resolve(tid, comps) else {
+                self.opt_attempt_failed(tid, false);
+                continue;
+            };
+            let out = match end {
+                Some(e) => Err(e),
+                None => {
+                    let &(target, _) = chain.last().expect("nonempty");
+                    Ok(InodeSlot::metadata_of(target.ino(), target.meta_read()))
+                }
+            };
+            if self.opt_claim(tid, &chain, false) {
+                self.count_hit();
+                return Some(out);
+            }
+        }
+        self.count_fallback();
+        None
+    }
+
+    /// Lockless `readdir`: scan the target's lock-free index, then
+    /// validate. The scan is only coherent if the directory did not
+    /// change during it — which is exactly what the claim checks.
+    pub(crate) fn opt_readdir(&self, tid: Tid, comps: &[&str]) -> Option<FsResult<Vec<String>>> {
+        if !self.opt_enabled() {
+            return None;
+        }
+        self.count_attempt();
+        for _ in 0..MAX_OPT_ATTEMPTS {
+            let Ok((chain, end)) = self.opt_resolve(tid, comps) else {
+                self.opt_attempt_failed(tid, false);
+                continue;
+            };
+            let out = match end {
+                Some(e) => Err(e),
+                None => {
+                    let &(target, _) = chain.last().expect("nonempty");
+                    match target.fast() {
+                        Some(fast) => Ok(fast.names()),
+                        None => Err(FsError::NotDir),
+                    }
+                }
+            };
+            if self.opt_claim(tid, &chain, false) {
+                self.count_hit();
+                return Some(out);
+            }
+        }
+        self.count_fallback();
+        None
+    }
+
+    /// `read` fast path: lockless walk, then lock *only* the terminal
+    /// file — directories above it are never locked. The data is read
+    /// under that lock before the claim, so the bytes returned are the
+    /// file's content at the claim instant.
+    pub(crate) fn opt_read(
+        &self,
+        tid: Tid,
+        comps: &[&str],
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Option<FsResult<usize>> {
+        if !self.opt_enabled() {
+            return None;
+        }
+        self.count_attempt();
+        for _ in 0..MAX_OPT_ATTEMPTS {
+            let Ok((chain, end)) = self.opt_resolve(tid, comps) else {
+                self.opt_attempt_failed(tid, false);
+                continue;
+            };
+            let lockless_err = match end {
+                Some(e) => Some(e),
+                None => {
+                    let &(target, _) = chain.last().expect("nonempty");
+                    target.fast().is_some().then_some(FsError::IsDir)
+                }
+            };
+            if let Some(e) = lockless_err {
+                if self.opt_claim(tid, &chain, false) {
+                    self.count_hit();
+                    return Some(Err(e));
+                }
+                continue;
+            }
+            let &(target, _) = chain.last().expect("nonempty");
+            let locked = self.lock_inode(tid, target.ino(), target, PathTag::Common);
+            let n = locked
+                .as_file()
+                .expect("fast() is None, so this slot holds a file")
+                .read(&self.store, offset, buf);
+            if self.opt_claim(tid, &chain, false) {
+                self.unlock(tid, locked);
+                self.count_hit();
+                return Some(Ok(n));
+            }
+            self.unlock(tid, locked);
+        }
+        self.count_fallback();
+        None
+    }
+
+    /// `write`/`truncate` fast path: lockless walk, lock the terminal
+    /// file, claim (with the ancestor probe — this is a mutation), then
+    /// run `body` under the lock with a conventional `Lp`.
+    pub(crate) fn opt_file_mutation<T>(
+        &self,
+        tid: Tid,
+        comps: &[&str],
+        body: &impl Fn(&AtomFs, &mut Locked) -> FsResult<T>,
+    ) -> Option<FsResult<T>> {
+        if !self.opt_enabled() {
+            return None;
+        }
+        self.count_attempt();
+        for _ in 0..MAX_OPT_ATTEMPTS {
+            let Ok((chain, end)) = self.opt_resolve(tid, comps) else {
+                self.opt_attempt_failed(tid, false);
+                continue;
+            };
+            let lockless_err = match end {
+                Some(e) => Some(e),
+                None => {
+                    let &(target, _) = chain.last().expect("nonempty");
+                    target.fast().is_some().then_some(FsError::IsDir)
+                }
+            };
+            if let Some(e) = lockless_err {
+                if self.opt_claim(tid, &chain, false) {
+                    self.count_hit();
+                    return Some(Err(e));
+                }
+                continue;
+            }
+            let &(target, _) = chain.last().expect("nonempty");
+            let mut locked = self.lock_inode(tid, target.ino(), target, PathTag::Common);
+            if !self.opt_claim(tid, &chain, true) {
+                self.unlock(tid, locked);
+                continue;
+            }
+            self.count_hit();
+            return Some(match body(self, &mut locked) {
+                Ok(v) => {
+                    self.emit(|| Event::Lp { tid });
+                    self.unlock(tid, locked);
+                    Ok(v)
+                }
+                Err(e) => Err(self.fail(tid, e, [locked])),
+            });
+        }
+        self.count_fallback();
+        None
+    }
+
+    /// `mknod`/`mkdir` fast path: lockless walk to the *parent*, lock
+    /// only it, claim (with the ancestor probe), then run the same locked
+    /// tail as the pessimistic path.
+    pub(crate) fn opt_create(
+        &self,
+        tid: Tid,
+        parent: &[&str],
+        name: &str,
+        ftype: FileType,
+    ) -> Option<FsResult<()>> {
+        if !self.opt_enabled() {
+            return None;
+        }
+        self.count_attempt();
+        for _ in 0..MAX_OPT_ATTEMPTS {
+            let Ok((chain, end)) = self.opt_resolve(tid, parent) else {
+                self.opt_attempt_failed(tid, false);
+                continue;
+            };
+            let lockless_err = match end {
+                Some(e) => Some(e),
+                None => {
+                    let &(p, _) = chain.last().expect("nonempty");
+                    p.fast().is_none().then_some(FsError::NotDir)
+                }
+            };
+            if let Some(e) = lockless_err {
+                if self.opt_claim(tid, &chain, false) {
+                    self.count_hit();
+                    return Some(Err(e));
+                }
+                continue;
+            }
+            let &(p_slot, _) = chain.last().expect("nonempty");
+            let mut p = self.lock_inode(tid, p_slot.ino(), p_slot, PathTag::Common);
+            if !self.opt_claim(tid, &chain, true) {
+                self.unlock(tid, p);
+                continue;
+            }
+            self.count_hit();
+            return Some(match self.create_tail(tid, name, &mut p, ftype) {
+                Ok(()) => {
+                    self.emit(|| Event::Lp { tid });
+                    self.unlock(tid, p);
+                    Ok(())
+                }
+                Err(e) => Err(self.fail(tid, e, [p])),
+            });
+        }
+        self.count_fallback();
+        None
+    }
+
+    /// `unlink`/`rmdir` fast path: like [`Self::opt_create`], but the
+    /// locked tail continues lock coupling into the victim.
+    pub(crate) fn opt_remove(
+        &self,
+        tid: Tid,
+        parent: &[&str],
+        name: &str,
+        want_dir: bool,
+    ) -> Option<FsResult<()>> {
+        if !self.opt_enabled() {
+            return None;
+        }
+        self.count_attempt();
+        for _ in 0..MAX_OPT_ATTEMPTS {
+            let Ok((chain, end)) = self.opt_resolve(tid, parent) else {
+                self.opt_attempt_failed(tid, false);
+                continue;
+            };
+            let lockless_err = match end {
+                Some(e) => Some(e),
+                None => {
+                    let &(p, _) = chain.last().expect("nonempty");
+                    p.fast().is_none().then_some(FsError::NotDir)
+                }
+            };
+            if let Some(e) = lockless_err {
+                if self.opt_claim(tid, &chain, false) {
+                    self.count_hit();
+                    return Some(Err(e));
+                }
+                continue;
+            }
+            let &(p_slot, _) = chain.last().expect("nonempty");
+            let p = self.lock_inode(tid, p_slot.ino(), p_slot, PathTag::Common);
+            if !self.opt_claim(tid, &chain, true) {
+                self.unlock(tid, p);
+                continue;
+            }
+            self.count_hit();
+            return Some(self.remove_tail(tid, name, p, want_dir));
+        }
+        self.count_fallback();
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomfs_trace::current_tid;
+    use atomfs_vfs::FileSystem;
+
+    fn fs() -> AtomFs {
+        AtomFs::new()
+    }
+
+    #[test]
+    fn lockless_ops_resolve_without_locks() {
+        let fs = fs();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        fs.mknod("/a/b/f").unwrap();
+        fs.write("/a/b/f", 0, b"xyz").unwrap();
+        let tid = current_tid();
+        let st = fs.opt_stat(tid, &["a", "b", "f"]).expect("fast path");
+        assert_eq!(st.unwrap().size, 3);
+        let names = fs.opt_readdir(tid, &["a", "b"]).expect("fast path");
+        assert_eq!(names.unwrap(), vec!["f".to_string()]);
+        let mut buf = [0u8; 3];
+        let n = fs.opt_read(tid, &["a", "b", "f"], 0, &mut buf).expect("fast path");
+        assert_eq!(n.unwrap(), 3);
+        assert_eq!(&buf, b"xyz");
+    }
+
+    #[test]
+    fn lockless_errors_are_decided_without_locks() {
+        let fs = fs();
+        fs.mkdir("/a").unwrap();
+        fs.mknod("/a/f").unwrap();
+        let tid = current_tid();
+        assert_eq!(
+            fs.opt_stat(tid, &["a", "missing"]).expect("fast path"),
+            Err(FsError::NotFound)
+        );
+        // Walking *through* a file.
+        assert_eq!(
+            fs.opt_stat(tid, &["a", "f", "x"]).expect("fast path"),
+            Err(FsError::NotDir)
+        );
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            fs.opt_read(tid, &["a"], 0, &mut buf).expect("fast path"),
+            Err(FsError::IsDir)
+        );
+        assert_eq!(
+            fs.opt_readdir(tid, &["a", "f"]).expect("fast path"),
+            Err(FsError::NotDir)
+        );
+    }
+
+    #[test]
+    fn fast_path_respects_config_knob() {
+        let cfg = crate::AtomFsConfig {
+            optimistic: false,
+            ..Default::default()
+        };
+        let fs = AtomFs::with_config(cfg);
+        fs.mkdir("/a").unwrap();
+        let tid = current_tid();
+        assert!(fs.opt_stat(tid, &["a"]).is_none());
+        // The public interface still works via the pessimistic walk.
+        assert!(fs.stat("/a").unwrap().ino > 1);
+    }
+
+    #[test]
+    fn probe_forces_fallback_while_ancestor_is_locked() {
+        let fs = fs();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        fs.mknod("/a/b/f").unwrap();
+        let tid = current_tid();
+        // Hold /a's lock (an ancestor of the mutation's parent /a/b).
+        let a_ino = fs.stat("/a").unwrap().ino;
+        let a_ref = fs.table.get(a_ino).unwrap();
+        let guard = a_ref.lock();
+        // Mutations must refuse the fast path...
+        assert!(fs.opt_create(tid, &["a", "b"], "g", FileType::File).is_none());
+        assert!(fs.opt_remove(tid, &["a", "b"], "f", false).is_none());
+        // ...while lockless reads still complete (no probe, and the lock
+        // holder has not touched any sequence counter).
+        assert!(fs.opt_stat(tid, &["a", "b", "f"]).is_some());
+        drop(guard);
+        // With the lock released the mutation fast path works again.
+        assert!(fs.opt_create(tid, &["a", "b"], "g", FileType::File).is_some());
+    }
+
+    #[test]
+    fn full_ops_still_work_end_to_end_via_fast_path() {
+        let fs = fs();
+        fs.mkdir("/d").unwrap();
+        fs.mknod("/d/f").unwrap();
+        assert_eq!(fs.write("/d/f", 0, b"hello").unwrap(), 5);
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.read("/d/f", 0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(fs.stat("/d/f").unwrap().size, 5);
+        fs.truncate("/d/f", 2).unwrap();
+        assert_eq!(fs.stat("/d/f").unwrap().size, 2);
+        fs.unlink("/d/f").unwrap();
+        assert_eq!(fs.stat("/d/f"), Err(FsError::NotFound));
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.readdir("/").unwrap(), Vec::<String>::new());
+    }
+}

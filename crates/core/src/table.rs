@@ -1,28 +1,183 @@
-//! Inode table: a slab of per-inode-locked inodes.
+//! Inode table: a slab of per-inode-locked, seqlock-versioned inodes.
 //!
 //! Inode numbers index into a growable slab; freed numbers are recycled
-//! through a free list. Each slot holds an `Arc<Mutex<InodeData>>` — the
-//! paper's per-inode lock. `Arc` + `lock_arc` give owned guards, which is
-//! what lets the lock-coupling walker hold one inode's lock while
-//! acquiring the next without fighting guard lifetimes.
+//! through a free list. Each slot is an [`InodeSlot`]: the paper's
+//! per-inode lock (`Arc<Mutex<InodeData>>`, whose `lock_arc` gives the
+//! owned guards the lock-coupling walker needs) plus the optimistic-walk
+//! state — a sequence counter (seqlock discipline: odd = write in
+//! progress), a packed metadata word for lockless `stat`, and, for
+//! directories, a lock-free [`FastDir`] index for lockless lookups.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use atomfs_trace::{Inum, ROOT_INUM};
-use atomfs_vfs::{FileType, FsError, FsResult};
+use atomfs_vfs::{FileType, FsError, FsResult, Metadata};
 
+use crate::fastdir::FastDir;
 use crate::inode::InodeData;
 
-/// A shared, lockable inode.
-pub type InodeRef = Arc<Mutex<InodeData>>;
+/// A shared, lockable, seqlock-versioned inode.
+pub type InodeRef = Arc<InodeSlot>;
+
+/// Directory flag bit of the packed metadata word.
+const META_DIR: u64 = 1 << 63;
+
+/// One inode: contents behind the per-inode lock, plus the lockless
+/// sidecar state read by the optimistic walk.
+pub struct InodeSlot {
+    ino: Inum,
+    /// The lock-protected contents. `Arc`-wrapped separately so
+    /// `Mutex::lock_arc` can produce owned guards.
+    pub(crate) data: Arc<Mutex<InodeData>>,
+    /// Seqlock: even = stable, odd = a mutation is in progress under the
+    /// inode lock. Bumped to odd at the first mutation of a critical
+    /// section and back to even (with `meta`/`fast` coherent) just before
+    /// the lock is released — so it stays odd across the *whole* mutation
+    /// tail of a critical section, and a lockless reader can never
+    /// validate across a half-done operation.
+    seq: AtomicU64,
+    /// Packed metadata for lockless `stat`: bit 63 = is-dir; directories
+    /// pack `subdirs << 32 | len`, files pack the size (< 2^63).
+    meta: AtomicU64,
+    /// Lock-free directory index (directories only).
+    fast: Option<FastDir>,
+}
+
+impl InodeSlot {
+    /// Fresh empty inode of the given type.
+    pub fn new(ino: Inum, ftype: FileType) -> Self {
+        let data = InodeData::new(ftype);
+        let meta = pack_meta(&data);
+        InodeSlot {
+            ino,
+            data: Arc::new(Mutex::new(data)),
+            seq: AtomicU64::new(0),
+            meta: AtomicU64::new(meta),
+            fast: matches!(ftype, FileType::Dir).then(FastDir::new),
+        }
+    }
+
+    /// This inode's number.
+    pub fn ino(&self) -> Inum {
+        self.ino
+    }
+
+    /// Lock the contents (convenience for non-coupled single-inode
+    /// access; the walker uses `lock_arc` on [`InodeSlot::data`]).
+    pub fn lock(&self) -> MutexGuard<'_, InodeData> {
+        self.data.lock()
+    }
+
+    /// Lock the contents with an owned (Arc-backed) guard, for walkers
+    /// that need to store the guard past the borrow of the slot.
+    pub fn lock_owned(&self) -> parking_lot::ArcMutexGuard<parking_lot::RawMutex, InodeData> {
+        parking_lot::Mutex::lock_arc(&self.data)
+    }
+
+    /// Whether any thread currently holds this inode's lock (used by the
+    /// mutation fast path's ancestor probe).
+    pub(crate) fn is_locked(&self) -> bool {
+        self.data.is_locked()
+    }
+
+    /// The lock-free directory index, if this inode is a directory.
+    pub(crate) fn fast(&self) -> Option<&FastDir> {
+        self.fast.as_ref()
+    }
+
+    /// `Acquire`-load the sequence counter.
+    pub(crate) fn seq_read(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Enter the seqlock write window (inode lock held): seq becomes odd.
+    pub(crate) fn write_begin(&self) {
+        let prev = self.seq.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev % 2 == 0, "nested write_begin on inode {}", self.ino);
+    }
+
+    /// Leave the seqlock write window (inode lock still held): republish
+    /// the packed metadata, then make seq even again.
+    pub(crate) fn write_end(&self, data: &InodeData) {
+        self.meta.store(pack_meta(data), Ordering::Release);
+        let prev = self.seq.fetch_add(1, Ordering::Release);
+        debug_assert!(prev % 2 == 1, "write_end without write_begin on {}", self.ino);
+    }
+
+    /// `Acquire`-load the packed metadata word (validate with the seqlock).
+    pub(crate) fn meta_read(&self) -> u64 {
+        self.meta.load(Ordering::Acquire)
+    }
+
+    /// Decode a packed metadata word read locklessly.
+    pub(crate) fn metadata_of(ino: Inum, meta: u64) -> Metadata {
+        if meta & META_DIR != 0 {
+            Metadata::dir(ino, meta & 0xffff_ffff, ((meta >> 32) & 0x3fff_ffff) as u32)
+        } else {
+            Metadata::file(ino, meta)
+        }
+    }
+}
+
+impl Drop for InodeSlot {
+    /// Dismantle the directory index iteratively before the field drops.
+    ///
+    /// A directory's `FastDir` holds `Arc`s to its children (including
+    /// tombstoned and retired-table entries), so a deep chain whose links
+    /// are each kept alive only by the parent's index — the whole tree at
+    /// FS teardown, or a historically rmdir'd chain pinned by tombstones
+    /// at runtime — would otherwise free itself by nested drops, one
+    /// stack frame per level, and overflow on deep trees. The worklist
+    /// below transfers ownership of every such descendant up front: each
+    /// popped slot's own index is emptied *before* the slot drops, so the
+    /// nested `Drop` recursion bottoms out immediately.
+    fn drop(&mut self) {
+        let Some(fast) = self.fast.as_ref() else {
+            return;
+        };
+        let mut pending = fast.drain_for_teardown();
+        while let Some(child) = pending.pop() {
+            if let Some(slot) = Arc::into_inner(child) {
+                if let Some(f) = slot.fast.as_ref() {
+                    pending.extend(f.drain_for_teardown());
+                }
+                // `slot` drops here: re-enters this impl with an already
+                // emptied index — constant depth.
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for InodeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InodeSlot(ino={})", self.ino)
+    }
+}
+
+/// Pack an inode's metadata into the lockless `meta` word.
+fn pack_meta(data: &InodeData) -> u64 {
+    match data {
+        InodeData::File(f) => {
+            debug_assert!(f.size() < META_DIR);
+            f.size()
+        }
+        InodeData::Dir(d) => {
+            META_DIR | (u64::from(d.subdirs()) << 32) | (d.len() as u64 & 0xffff_ffff)
+        }
+    }
+}
 
 /// The inode slab.
 pub struct InodeTable {
     slots: RwLock<Vec<Option<InodeRef>>>,
     alloc: Mutex<AllocState>,
     capacity: usize,
+    /// The root, duplicated out of the slab so the optimistic walk can
+    /// start without taking the slab's reader lock.
+    root: InodeRef,
 }
 
 #[derive(Default)]
@@ -36,8 +191,8 @@ impl InodeTable {
     /// Create a table with the root directory pre-allocated at
     /// [`ROOT_INUM`], able to hold up to `capacity` live inodes.
     pub fn new(capacity: usize) -> Self {
-        let root: InodeRef = Arc::new(Mutex::new(InodeData::new(FileType::Dir)));
-        let mut slots = vec![None, Some(root)]; // index 0 unused; root at 1
+        let root: InodeRef = Arc::new(InodeSlot::new(ROOT_INUM, FileType::Dir));
+        let mut slots = vec![None, Some(Arc::clone(&root))]; // index 0 unused; root at 1
         slots.reserve(64);
         InodeTable {
             slots: RwLock::new(slots),
@@ -47,6 +202,7 @@ impl InodeTable {
                 live: 1,
             }),
             capacity,
+            root,
         }
     }
 
@@ -62,7 +218,12 @@ impl InodeTable {
 
     /// The root directory inode.
     pub fn root(&self) -> InodeRef {
-        self.get(ROOT_INUM).expect("root always exists")
+        Arc::clone(&self.root)
+    }
+
+    /// Borrow the root without touching any lock (optimistic walk entry).
+    pub(crate) fn root_ref(&self) -> &InodeRef {
+        &self.root
     }
 
     /// Fetch a live inode by number.
@@ -88,7 +249,7 @@ impl InodeTable {
                 }
             }
         };
-        let inode: InodeRef = Arc::new(Mutex::new(InodeData::new(ftype)));
+        let inode: InodeRef = Arc::new(InodeSlot::new(ino, ftype));
         let mut slots = self.slots.write();
         if slots.len() <= ino as usize {
             slots.resize(ino as usize + 1, None);
@@ -103,7 +264,9 @@ impl InodeTable {
     /// The caller must have unlinked the inode from every directory and
     /// must hold no references it intends to use afterwards (the paper's
     /// `free(node)`; lock coupling guarantees no other thread can be
-    /// waiting on the lock at this point).
+    /// waiting on the lock at this point). A recycled number gets a brand
+    /// new [`InodeSlot`], so stale optimistic references can never
+    /// confuse an old inode with its successor.
     pub fn free(&self, ino: Inum) {
         assert_ne!(ino, ROOT_INUM, "cannot free the root");
         let removed = {
@@ -157,6 +320,36 @@ mod tests {
         assert!(t.get(b).is_some());
     }
 
+    /// Deep parent→child `Arc` chains must be dismantled iteratively.
+    /// Two shapes on a 128 KiB stack: a live chain (FS teardown — every
+    /// link alive, each held by its parent's index) and a tombstone chain
+    /// (runtime history — every link rmdir'd deepest-first, pinned only
+    /// by the parent's tombstoned `FastDir` entry).
+    #[test]
+    fn deep_chains_drop_without_recursion() {
+        use crate::{AtomFs, AtomFsConfig};
+        use atomfs_vfs::FileSystem;
+        for rmdir_first in [false, true] {
+            let fs = AtomFs::with_config(AtomFsConfig::default());
+            let mut path = String::new();
+            for _ in 0..2000 {
+                path.push_str("/d");
+                fs.mkdir(&path).unwrap();
+            }
+            if rmdir_first {
+                for depth in (1..=2000).rev() {
+                    fs.rmdir(&"/d".repeat(depth)).unwrap();
+                }
+            }
+            std::thread::Builder::new()
+                .stack_size(128 * 1024)
+                .spawn(move || drop(fs))
+                .unwrap()
+                .join()
+                .expect("drop must not overflow the stack");
+        }
+    }
+
     #[test]
     fn capacity_enforced() {
         let t = InodeTable::new(2);
@@ -202,5 +395,38 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 4000, "inums must be unique");
         assert_eq!(t.live(), 4001);
+    }
+
+    #[test]
+    fn meta_word_roundtrips() {
+        let s = InodeSlot::new(7, FileType::File);
+        let m = InodeSlot::metadata_of(7, s.meta_read());
+        assert_eq!(m.ino, 7);
+        assert_eq!(m.size, 0);
+        assert_eq!(m.ftype, FileType::File);
+
+        let d = InodeSlot::new(9, FileType::Dir);
+        {
+            let mut g = d.lock();
+            d.write_begin();
+            g.as_dir_mut().unwrap().insert("sub", 2, true);
+            g.as_dir_mut().unwrap().insert("f", 3, false);
+            d.write_end(&g);
+        }
+        let m = InodeSlot::metadata_of(9, d.meta_read());
+        assert_eq!(m.ftype, FileType::Dir);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.nlink, 3, "2 + one subdirectory");
+        assert_eq!(d.seq_read(), 2, "one write window = +2");
+    }
+
+    #[test]
+    fn seq_is_odd_inside_write_window() {
+        let s = InodeSlot::new(4, FileType::Dir);
+        assert_eq!(s.seq_read() % 2, 0);
+        s.write_begin();
+        assert_eq!(s.seq_read() % 2, 1);
+        s.write_end(&s.lock());
+        assert_eq!(s.seq_read() % 2, 0);
     }
 }

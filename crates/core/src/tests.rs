@@ -76,6 +76,7 @@ mod create {
         let fs = AtomFs::with_config(AtomFsConfig {
             max_inodes: 3,
             max_blocks: 8,
+            ..AtomFsConfig::default()
         });
         fs.mknod("/a").unwrap();
         fs.mknod("/b").unwrap();
@@ -371,6 +372,7 @@ mod io {
         let fs = AtomFs::with_config(AtomFsConfig {
             max_inodes: 16,
             max_blocks: 2,
+            ..AtomFsConfig::default()
         });
         fs.mknod("/f").unwrap();
         fs.write("/f", 0, &vec![1u8; 8192]).unwrap();
@@ -409,10 +411,22 @@ mod paths {
 mod tracing {
     use super::*;
 
+    /// A traced instance with the optimistic fast path disabled: these
+    /// tests pin the *pessimistic* lock-coupling protocol shape.
+    fn traced_pessimistic(sink: Arc<dyn atomfs_trace::TraceSink>) -> AtomFs {
+        AtomFs::traced_with_config(
+            sink,
+            AtomFsConfig {
+                optimistic: false,
+                ..AtomFsConfig::default()
+            },
+        )
+    }
+
     #[test]
     fn traced_fs_emits_protocol_shape() {
         let sink = Arc::new(BufferSink::new());
-        let fs = AtomFs::traced(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
+        let fs = traced_pessimistic(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
         fs.mkdir("/a").unwrap();
         let events = sink.take();
         // OpBegin, Lock(root), Mutate(create), Mutate(ins), Lp, Unlock, OpEnd.
@@ -459,7 +473,7 @@ mod tracing {
     #[test]
     fn every_op_has_exactly_one_lp() {
         let sink = Arc::new(BufferSink::new());
-        let fs = AtomFs::traced(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
+        let fs = traced_pessimistic(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
         fs.mkdir("/a").unwrap();
         let _ = fs.mkdir("/a"); // EEXIST
         fs.mknod("/a/f").unwrap();
@@ -486,6 +500,67 @@ mod tracing {
         assert_eq!(ends, 8);
     }
 
+
+    /// The optimistic fast-path protocol shapes (tentpole): a mutation
+    /// claims its validated chain after locking only the parent; a
+    /// fully lockless read has no `Lock` and no `Lp` at all — its
+    /// successful `OptValidate` is the linearization point.
+    #[test]
+    fn fast_path_emits_optimistic_protocol_shape() {
+        let sink = Arc::new(BufferSink::new());
+        let fs = AtomFs::traced(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
+        fs.mkdir("/a").unwrap();
+        let events = sink.take();
+        // OpBegin, OptRead(root), Lock(root), OptValidate(ok),
+        // Mutate(create), Mutate(ins), Lp, Unlock, OpEnd.
+        assert!(matches!(events[0], Event::OpBegin { .. }));
+        assert!(matches!(events[1], Event::OptRead { ino: ROOT_INUM, .. }));
+        assert!(matches!(events[2], Event::Lock { ino: ROOT_INUM, .. }));
+        assert!(matches!(events[3], Event::OptValidate { ok: true, .. }));
+        assert!(matches!(&events[4], Event::Mutate { mop, .. }
+            if matches!(mop, atomfs_trace::MicroOp::Create { .. })));
+        assert!(matches!(&events[5], Event::Mutate { mop, .. }
+            if matches!(mop, atomfs_trace::MicroOp::Ins { .. })));
+        assert!(matches!(events[6], Event::Lp { .. }));
+        assert!(matches!(events[7], Event::Unlock { ino: ROOT_INUM, .. }));
+        assert!(matches!(events[8], Event::OpEnd { .. }));
+        assert_eq!(events.len(), 9);
+
+        fs.stat("/a").unwrap();
+        let events = sink.take();
+        // OpBegin, OptRead(root), OptRead(a), OptValidate(ok), OpEnd —
+        // zero locks, zero Lp.
+        assert!(matches!(events[0], Event::OpBegin { .. }));
+        assert!(matches!(events[1], Event::OptRead { ino: ROOT_INUM, .. }));
+        assert!(matches!(events[2], Event::OptRead { .. }));
+        assert!(matches!(events[3], Event::OptValidate { ok: true, .. }));
+        assert!(matches!(events[4], Event::OpEnd { .. }));
+        assert_eq!(events.len(), 5);
+        assert!(!events.iter().any(|e| matches!(e, Event::Lock { .. } | Event::Lp { .. })));
+    }
+
+    /// Read-only fast-path completions linearize at their claim: one
+    /// successful `OptValidate` and no `Lp` per lockless op.
+    #[test]
+    fn lockless_ops_claim_instead_of_lp() {
+        let sink = Arc::new(BufferSink::new());
+        let fs = AtomFs::traced(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
+        fs.mkdir("/a").unwrap();
+        fs.mknod("/a/f").unwrap();
+        sink.take();
+        fs.stat("/a/f").unwrap();
+        let _ = fs.readdir("/a").unwrap();
+        let _ = fs.stat("/missing");
+        let events = sink.take();
+        let lps = events.iter().filter(|e| matches!(e, Event::Lp { .. })).count();
+        let claims = events
+            .iter()
+            .filter(|e| matches!(e, Event::OptValidate { ok: true, .. }))
+            .count();
+        assert_eq!(lps, 0, "lockless completions have no separate Lp");
+        assert_eq!(claims, 3, "each lockless op claims exactly once");
+    }
+
     #[test]
     fn untraced_fs_has_no_sink_overhead_paths() {
         let fs = AtomFs::new();
@@ -496,7 +571,7 @@ mod tracing {
     #[test]
     fn sharded_sink_records_same_protocol_shape() {
         let sink = Arc::new(ShardedSink::new());
-        let fs = AtomFs::traced(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
+        let fs = traced_pessimistic(Arc::clone(&sink) as Arc<dyn atomfs_trace::TraceSink>);
         fs.mkdir("/a").unwrap();
         let events = sink.take();
         assert!(matches!(events[0], Event::OpBegin { .. }));

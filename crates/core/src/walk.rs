@@ -14,6 +14,15 @@
 //! directories are held. Holding the common inode pins the divergence
 //! point, which is what makes concurrent renames deadlock-free: any wait
 //! chain descends the tree.
+//!
+//! The optimistic fast path (see [`crate::optwalk`]) replaces the lock
+//! handoffs with seqlock validation; this module remains the pessimistic
+//! slow path every fast-path failure falls back to, and supplies the
+//! [`Locked`] guard both paths mutate through. `Locked` maintains the
+//! seqlock write window: the first mutable access flips the inode's seq
+//! odd, and [`AtomFs::unlock`] republishes the packed metadata and flips
+//! it even again *before* releasing the mutex — so lockless readers can
+//! never validate across a half-finished critical section.
 
 use parking_lot::{ArcMutexGuard, RawMutex};
 
@@ -28,15 +37,56 @@ use crate::table::InodeRef;
 /// An inode whose lock is held by the current thread.
 ///
 /// Dropping a `Locked` without going through [`AtomFs::unlock`] would skip
-/// the `Unlock` trace event, so operation code always releases explicitly.
+/// the `Unlock` trace event and the seqlock republication, so operation
+/// code always releases explicitly; under `debug_assertions` the embedded
+/// [`LeakGuard`] turns a leaked guard into a panic.
 pub(crate) struct Locked {
     /// The inode's number.
     pub ino: Inum,
+    /// The slot, for seqlock/fast-index maintenance while mutating.
+    pub slot: InodeRef,
     /// The owned guard over the inode's contents.
     pub guard: ArcMutexGuard<RawMutex, InodeData>,
     /// Clock reading at acquisition when this acquisition was sampled for
     /// hold-time measurement; 0 for the unsampled common case.
     hold_start: u64,
+    /// Whether this critical section entered the seqlock write window
+    /// (set on first mutable access; cleared by `unlock`).
+    dirty: bool,
+    /// Drop-flag that panics in debug builds when the guard is leaked.
+    leak: LeakGuard,
+}
+
+/// Debug-build drop-flag: panics if a [`Locked`] is dropped without
+/// [`AtomFs::unlock`] disarming it first. Compiles to a ZST in release.
+struct LeakGuard {
+    #[cfg(debug_assertions)]
+    armed: bool,
+}
+
+impl LeakGuard {
+    fn armed() -> Self {
+        LeakGuard {
+            #[cfg(debug_assertions)]
+            armed: true,
+        }
+    }
+
+    fn disarm(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.armed = false;
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for LeakGuard {
+    fn drop(&mut self) {
+        if self.armed && !std::thread::panicking() {
+            panic!("Locked dropped without AtomFs::unlock (Unlock event skipped)");
+        }
+    }
 }
 
 impl std::fmt::Debug for Locked {
@@ -54,7 +104,59 @@ impl std::ops::Deref for Locked {
 
 impl std::ops::DerefMut for Locked {
     fn deref_mut(&mut self) -> &mut InodeData {
+        self.touch();
         &mut self.guard
+    }
+}
+
+impl Locked {
+    /// Enter the seqlock write window if not already in it. Must be
+    /// called before any mutation of the guarded data that bypasses
+    /// `DerefMut` (e.g. direct `guard` access).
+    pub(crate) fn touch(&mut self) {
+        if !self.dirty {
+            self.dirty = true;
+            self.slot.write_begin();
+        }
+    }
+
+    /// Insert `name -> child` into this locked directory, keeping the
+    /// authoritative [`DirHash`] and the lock-free [`FastDir`] index in
+    /// sync. Returns `false` (no change) if the name exists.
+    ///
+    /// [`DirHash`]: crate::dirhash::DirHash
+    /// [`FastDir`]: crate::fastdir::FastDir
+    pub(crate) fn dir_insert(&mut self, name: &str, child: &InodeRef, is_dir: bool) -> bool {
+        self.touch();
+        let ino = child.ino();
+        let inserted = self
+            .guard
+            .as_dir_mut()
+            .expect("dir_insert on a directory")
+            .insert(name, ino, is_dir);
+        if inserted {
+            if let Some(fast) = self.slot.fast() {
+                fast.insert(name, ino, child);
+            }
+        }
+        inserted
+    }
+
+    /// Remove `name` from this locked directory (both indexes), returning
+    /// the inode number it mapped to.
+    pub(crate) fn dir_remove(&mut self, name: &str, is_dir: bool) -> Option<Inum> {
+        self.touch();
+        let removed = self
+            .guard
+            .as_dir_mut()
+            .expect("dir_remove on a directory")
+            .remove(name, is_dir);
+        if removed.is_some() {
+            if let Some(fast) = self.slot.fast() {
+                fast.remove(name);
+            }
+        }
+        removed
     }
 }
 
@@ -70,15 +172,18 @@ impl AtomFs {
         let locked = match self.m() {
             None => Locked {
                 ino,
-                guard: parking_lot::Mutex::lock_arc(iref),
+                slot: InodeRef::clone(iref),
+                guard: parking_lot::Mutex::lock_arc(&iref.data),
                 hold_start: 0,
+                dirty: false,
+                leak: LeakGuard::armed(),
             },
             Some(m) => {
-                let (guard, waited) = match parking_lot::Mutex::try_lock_arc(iref) {
+                let (guard, waited) = match parking_lot::Mutex::try_lock_arc(&iref.data) {
                     Some(g) => (g, None),
                     None => {
                         let t0 = m.now();
-                        let g = parking_lot::Mutex::lock_arc(iref);
+                        let g = parking_lot::Mutex::lock_arc(&iref.data);
                         (g, Some(m.now().saturating_sub(t0)))
                     }
                 };
@@ -92,8 +197,11 @@ impl AtomFs {
                 let hold_start = if m.sample_hold() { m.now().max(1) } else { 0 };
                 Locked {
                     ino,
+                    slot: InodeRef::clone(iref),
                     guard,
                     hold_start,
+                    dirty: false,
+                    leak: LeakGuard::armed(),
                 }
             }
         };
@@ -102,18 +210,27 @@ impl AtomFs {
     }
 
     /// Release a held inode lock, emitting `Unlock` while still holding it.
-    pub(crate) fn unlock(&self, tid: Tid, locked: Locked) {
+    ///
+    /// If the critical section mutated the inode, the seqlock write
+    /// window is closed here — packed metadata republished, seq flipped
+    /// even — strictly before the mutex is released.
+    pub(crate) fn unlock(&self, tid: Tid, mut locked: Locked) {
         self.emit(|| Event::Unlock {
             tid,
             ino: locked.ino,
         });
+        if locked.dirty {
+            locked.slot.write_end(&locked.guard);
+            locked.dirty = false;
+        }
         if locked.hold_start != 0 {
             if let Some(m) = self.m() {
                 let class = LockClass::of(locked.ino, locked.guard.ftype());
                 m.lock_held(class, m.now().saturating_sub(locked.hold_start));
             }
         }
-        drop(locked.guard);
+        locked.leak.disarm();
+        drop(locked);
     }
 
     /// Walk from the root through `comps` with lock coupling, returning the
@@ -125,7 +242,7 @@ impl AtomFs {
     pub(crate) fn walk(
         &self,
         tid: Tid,
-        comps: &[String],
+        comps: &[&str],
         tag: PathTag,
     ) -> Result<Locked, (FsError, Locked)> {
         let root = self.table.root();
@@ -155,7 +272,7 @@ impl AtomFs {
         &self,
         tid: Tid,
         start: &Locked,
-        comps: &[String],
+        comps: &[&str],
         tag: PathTag,
     ) -> Result<Option<Locked>, (FsError, Option<Locked>)> {
         let Some((first, rest)) = comps.split_first() else {
@@ -204,8 +321,7 @@ mod tests {
         fs.mkdir("/a").unwrap();
         fs.mkdir("/a/b").unwrap();
         let tid = current_tid();
-        let comps = vec!["a".to_string(), "b".to_string()];
-        let locked = fs.walk(tid, &comps, PathTag::Common).unwrap();
+        let locked = fs.walk(tid, &["a", "b"], PathTag::Common).unwrap();
         assert!(locked.guard.as_dir().is_ok());
         let ino = locked.ino;
         fs.unlock(tid, locked);
@@ -217,8 +333,9 @@ mod tests {
         let fs = AtomFs::new();
         fs.mkdir("/a").unwrap();
         let tid = current_tid();
-        let comps = vec!["a".to_string(), "missing".to_string(), "x".to_string()];
-        let (err, held) = fs.walk(tid, &comps, PathTag::Common).unwrap_err();
+        let (err, held) = fs
+            .walk(tid, &["a", "missing", "x"], PathTag::Common)
+            .unwrap_err();
         assert_eq!(err, FsError::NotFound);
         // The deepest lock held is /a, where the failure was decided.
         assert!(held.guard.as_dir().is_ok());
@@ -230,8 +347,7 @@ mod tests {
         let fs = AtomFs::new();
         fs.mknod("/f").unwrap();
         let tid = current_tid();
-        let comps = vec!["f".to_string(), "x".to_string()];
-        let (err, held) = fs.walk(tid, &comps, PathTag::Common).unwrap_err();
+        let (err, held) = fs.walk(tid, &["f", "x"], PathTag::Common).unwrap_err();
         assert_eq!(err, FsError::NotDir);
         fs.unlock(tid, held);
     }
@@ -243,9 +359,8 @@ mod tests {
         fs.mkdir("/a/b").unwrap();
         let tid = current_tid();
         let start = fs.walk(tid, &[], PathTag::Common).unwrap(); // root
-        let comps = vec!["a".to_string(), "b".to_string()];
         let end = fs
-            .branch_walk(tid, &start, &comps, PathTag::Src)
+            .branch_walk(tid, &start, &["a", "b"], PathTag::Src)
             .unwrap()
             .unwrap();
         // Both root and /a/b are held simultaneously.
@@ -265,5 +380,48 @@ mod tests {
             .unwrap()
             .is_none());
         fs.unlock(tid, start);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn leaked_lock_guard_panics_in_debug() {
+        let res = std::panic::catch_unwind(|| {
+            let fs = AtomFs::new();
+            let tid = current_tid();
+            let locked = fs.walk(tid, &[], PathTag::Common).unwrap();
+            drop(locked); // bypasses AtomFs::unlock
+        });
+        let err = res.expect_err("leaking a Locked must panic under debug_assertions");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("without AtomFs::unlock"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn unlock_republishes_seqlock_state() {
+        let fs = AtomFs::new();
+        fs.mkdir("/d").unwrap();
+        let tid = current_tid();
+        let slot = {
+            let mut locked = fs.walk(tid, &["d"], PathTag::Common).unwrap();
+            let seq_before = locked.slot.seq_read();
+            // Mutating through the guard enters the write window...
+            let child = fs.table.alloc(atomfs_vfs::FileType::File).unwrap().1;
+            assert!(locked.dir_insert("f", &child, false));
+            let slot = InodeRef::clone(&locked.slot);
+            assert_eq!(slot.seq_read(), seq_before + 1, "seq odd inside window");
+            fs.unlock(tid, locked);
+            assert_eq!(slot.seq_read(), seq_before + 2, "seq even after unlock");
+            slot
+        };
+        // ...and the packed meta word reflects the insert.
+        let meta = crate::table::InodeSlot::metadata_of(slot.ino(), slot.meta_read());
+        assert_eq!(meta.size, 1);
     }
 }

@@ -24,6 +24,20 @@
 //! the paper's Figure 1: interleavings with path inter-dependency are
 //! then flagged as return-value mismatches, demonstrating why fixed LPs
 //! are insufficient for concurrent file systems.
+//!
+//! # Optimistic-traversal admission
+//!
+//! Traces from the seqlock fast path interleave `OptRead` / `OptValidate`
+//! / `OptRetry` events with the pessimistic protocol. A successful
+//! validation (`OptValidate { ok: true }`) is admitted as a legal
+//! lock-path witness: the opt-read chain must be exactly the shadow
+//! state's resolution trail at that stamp, and the operation linearizes
+//! *at the claim* — effect-free completions against the rolled-back
+//! (concrete-time) state, mutations through the helped-thread machinery
+//! (effects recorded for roll-back, `FutLockPath` for the locks still to
+//! come, Helplist discharge at the trailing LP). A failed validation must
+//! be followed by `OptRetry`; an `OptRetry` directly after a claim aborts
+//! it and unwinds the provisional linearization.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -114,11 +128,16 @@ pub enum ViolationKind {
     FutureLockpath,
     /// Table 1: the LockPathPrefix relation has a cycle.
     LockpathWellformed,
+    /// The optimistic-traversal protocol was broken: a claim with no
+    /// preceding opt-reads, a chain not starting at the root, a lockless
+    /// claim producing abstract effects, continuing after a failed
+    /// validation without `OptRetry`, or a rename on the fast path.
+    OptValidation,
 }
 
 impl ViolationKind {
     /// Every kind, in discriminant order (indexable by `kind as usize`).
-    pub const ALL: [ViolationKind; 13] = [
+    pub const ALL: [ViolationKind; 14] = [
         ViolationKind::Protocol,
         ViolationKind::ShadowState,
         ViolationKind::RelyGuarantee,
@@ -132,6 +151,7 @@ impl ViolationKind {
         ViolationKind::HelplistConsistency,
         ViolationKind::FutureLockpath,
         ViolationKind::LockpathWellformed,
+        ViolationKind::OptValidation,
     ];
 
     /// A stable snake_case label for metric/report keys.
@@ -150,6 +170,7 @@ impl ViolationKind {
             ViolationKind::HelplistConsistency => "helplist_consistency",
             ViolationKind::FutureLockpath => "future_lockpath",
             ViolationKind::LockpathWellformed => "lockpath_wellformed",
+            ViolationKind::OptValidation => "opt_validation",
         }
     }
 }
@@ -188,6 +209,11 @@ pub struct CheckerStats {
     pub max_helpset: usize,
     /// Abstraction-relation validations performed.
     pub relation_checks: u64,
+    /// Optimistic claims committed (operations admitted via a validated
+    /// seqlock chain instead of a lock-coupled walk).
+    pub opt_claims: u64,
+    /// Optimistic attempts abandoned (`OptRetry` events).
+    pub opt_retries: u64,
 }
 
 /// The result of checking one trace.
@@ -229,6 +255,44 @@ impl CheckReport {
     }
 }
 
+/// How an operation is being linearized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinMode {
+    /// At its own LP, inside its critical section.
+    OwnLp,
+    /// Externally, by a rename's `linothers` (the paper's helping).
+    Helper,
+    /// At a successful optimistic claim: the seqlock-validated chain is
+    /// admitted as a legal lock-path witness, and the operation
+    /// linearizes *now*, before its concrete mutations — reusing the
+    /// helped-thread machinery (effects recorded for roll-back,
+    /// `FutLockPath` for the locks it will still take, Helplist entry
+    /// discharged at its trailing LP).
+    Claim,
+}
+
+/// Optimistic-traversal admission state for one thread.
+///
+/// Tracks the chain of `OptRead` events of the current attempt, whether
+/// the attempt took its single fast-path lock, and a successful-but-
+/// uncommitted claim. A claim *commits* at the thread's next event
+/// (the operation moved on) and *aborts* on `OptRetry` (the runtime's
+/// post-claim validation failed), which unwinds the provisional
+/// linearization.
+#[derive(Debug, Default)]
+struct OptState {
+    /// Concrete inodes opt-read by the current attempt, root first.
+    chain: Vec<Inum>,
+    /// The attempt locked the chain's last node (fast-path lock).
+    locked: bool,
+    /// An uncommitted successful claim; holds the operation so an abort
+    /// can restore the pending state.
+    claim: Option<OpDesc>,
+    /// A validation failed or a claim was stale at its stamp: the next
+    /// same-thread event must be `OptRetry`.
+    must_retry: bool,
+}
+
 /// The replaying checker. Feed events with [`LpChecker::feed`] (or install
 /// as an online [`atomfs_trace::TraceSink`] via `crate::online`), then call
 /// [`LpChecker::finish`].
@@ -245,6 +309,8 @@ pub struct LpChecker {
     /// Concrete inodes removed inside a critical section whose abstract
     /// removal happens later, at the owner's LP; unbound there.
     pending_unbinds: HashMap<Tid, Vec<Inum>>,
+    /// Per-thread optimistic-traversal state (see [`OptState`]).
+    opt: HashMap<Tid, OptState>,
     next_provisional: Inum,
     violations: Vec<Violation>,
     stats: CheckerStats,
@@ -271,6 +337,7 @@ impl LpChecker {
             locks: HashMap::new(),
             private: HashMap::new(),
             pending_unbinds: HashMap::new(),
+            opt: HashMap::new(),
             next_provisional: crate::ghost::PROVISIONAL_BASE,
             violations: Vec::new(),
             stats: CheckerStats::default(),
@@ -318,6 +385,7 @@ impl LpChecker {
 
     /// Process one event.
     pub fn feed(&mut self, ev: &Event) {
+        self.opt_gate(ev);
         match ev {
             Event::OpBegin { tid, op } => self.on_begin(*tid, op),
             Event::Lock { tid, ino, tag } => self.on_lock(*tid, *ino, *tag),
@@ -325,11 +393,39 @@ impl LpChecker {
             Event::Mutate { tid, mop } => self.on_mutate(*tid, mop),
             Event::Lp { tid } => self.on_lp(*tid),
             Event::OpEnd { tid, ret } => self.on_end(*tid, ret),
+            Event::OptRead { tid, ino } => self.on_opt_read(*tid, *ino),
+            Event::OptValidate { tid, ok } => self.on_opt_validate(*tid, *ok),
+            Event::OptRetry { tid } => self.on_opt_retry(*tid),
         }
         if self.cfg.relation == RelationCadence::EveryEvent {
             self.check_relation();
         }
         self.idx += 1;
+    }
+
+    /// Resolve pending optimistic state against the thread's next event:
+    /// an uncommitted claim commits on anything but `OptRetry` (which
+    /// aborts it in [`LpChecker::on_opt_retry`]), and a failed validation
+    /// must be followed immediately by `OptRetry`.
+    fn opt_gate(&mut self, ev: &Event) {
+        if matches!(ev, Event::OptRetry { .. }) {
+            return;
+        }
+        let tid = ev.tid();
+        let Some(o) = self.opt.get_mut(&tid) else {
+            return;
+        };
+        let committed = o.claim.take().is_some();
+        let broken = std::mem::take(&mut o.must_retry);
+        if committed {
+            self.stats.opt_claims += 1;
+        }
+        if broken {
+            self.flag(
+                ViolationKind::OptValidation,
+                format!("{tid} continued after a failed optimistic validation without OptRetry"),
+            );
+        }
     }
 
     /// Process a whole trace.
@@ -406,6 +502,7 @@ impl LpChecker {
     }
 
     fn on_begin(&mut self, tid: Tid, op: &OpDesc) {
+        self.opt.remove(&tid);
         self.stats.ops_begun += 1;
         self.narration.push(format!("{tid} invokes {op}"));
         if !self.pool.begin(tid, op.clone()) {
@@ -430,6 +527,14 @@ impl LpChecker {
             );
             return;
         };
+        // A lock on the last node of the thread's live optimistic chain is
+        // a fast-path lock: the seqlock chain the upcoming claim certifies
+        // subsumes the incremental non-bypass checks (the runtime's
+        // ancestor probe covers the pinned-thread hazard), so they are
+        // skipped for this acquisition.
+        let fast = self.opt.get(&tid).is_some_and(|o| {
+            o.claim.is_none() && !o.must_retry && o.chain.last() == Some(&ino)
+        });
         entry.desc.push_lock(ino, tag);
         let abs = self.binding.abs(ino);
         // Future-lockpath-validness for the locking thread itself.
@@ -448,6 +553,12 @@ impl LpChecker {
                     self.flag(ViolationKind::FutureLockpath, msg);
                 }
             }
+        }
+        if fast {
+            if let Some(o) = self.opt.get_mut(&tid) {
+                o.locked = true;
+            }
+            return;
         }
         // Non-bypassable invariants against every other helped thread.
         if let Some(a) = abs {
@@ -639,7 +750,7 @@ impl LpChecker {
                     self.stats.rename_lps += 1;
                     self.run_linothers(tid);
                 }
-                self.lin(tid, false);
+                self.lin(tid, LinMode::OwnLp);
             }
         }
         if let Some(pending) = self.pending_unbinds.remove(&tid) {
@@ -690,15 +801,25 @@ impl LpChecker {
             "{rename_tid} reaches its LP and runs linothers: helping {order_str}"
         ));
         for h in order {
-            self.lin(h, true);
+            self.lin(h, LinMode::Helper);
         }
     }
 
     /// Linearize thread `tid`'s abstract operation against the current
     /// abstract state (the paper's `lin(t)`).
-    fn lin(&mut self, tid: Tid, helped: bool) {
+    ///
+    /// [`LinMode::Claim`] linearizes an operation at its successful
+    /// optimistic claim and goes through the helped-thread machinery: its
+    /// abstract effects precede its concrete mutations, so they are
+    /// recorded for roll-back and discharged at the operation's trailing
+    /// LP exactly like an externally-linearized operation.
+    fn lin(&mut self, tid: Tid, mode: LinMode) {
+        let helped = mode != LinMode::OwnLp;
         if let Some(m) = &self.metrics {
-            m.lin(helped);
+            // A claim goes through the helped-thread *machinery* but is a
+            // self-linearization; only helper-performed lins count as
+            // helped, keeping the online counter equal to `stats.helps`.
+            m.lin(mode == LinMode::Helper);
         }
         let (op, mut created) = {
             let entry = self.pool.get_mut(tid).expect("linearized thread exists");
@@ -762,10 +883,10 @@ impl LpChecker {
                 self.private.remove(&ino);
             }
         }
-        self.narration.push(if helped {
-            format!("  -> {tid} linearized by helper => {ret}")
-        } else {
-            format!("{tid} linearized at its own LP => {ret}")
+        self.narration.push(match mode {
+            LinMode::OwnLp => format!("{tid} linearized at its own LP => {ret}"),
+            LinMode::Helper => format!("  -> {tid} linearized by helper => {ret}"),
+            LinMode::Claim => format!("{tid} linearized at its optimistic claim => {ret}"),
         });
         let entry = self.pool.get_mut(tid).expect("exists");
         entry.aop = AopState::Done(ret);
@@ -823,6 +944,213 @@ impl LpChecker {
                 self.binding.unbind_concrete(ino);
             }
         }
+        self.opt.remove(&tid);
+    }
+
+    fn on_opt_read(&mut self, tid: Tid, ino: Inum) {
+        if self.pool.get(tid).is_none() {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} opt-read {ino} outside any operation"),
+            );
+            return;
+        }
+        let o = self.opt.entry(tid).or_default();
+        let bad_start = o.chain.is_empty() && ino != atomfs_trace::ROOT_INUM;
+        o.chain.push(ino);
+        if bad_start {
+            self.flag(
+                ViolationKind::OptValidation,
+                format!("{tid} started an optimistic walk at {ino}, not the root"),
+            );
+        }
+    }
+
+    fn on_opt_validate(&mut self, tid: Tid, ok: bool) {
+        let Some(entry) = self.pool.get(tid) else {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} opt-validated outside any operation"),
+            );
+            return;
+        };
+        if !ok {
+            // `locked` is left for on_opt_retry, which drops the aborted
+            // attempt's lock path.
+            let o = self.opt.entry(tid).or_default();
+            o.chain.clear();
+            o.must_retry = true;
+            return;
+        }
+        let op = match &entry.aop {
+            AopState::Pending(op) => op.clone(),
+            AopState::Done(_) => {
+                self.flag(
+                    ViolationKind::OptValidation,
+                    format!("{tid} claimed optimistically but is already linearized"),
+                );
+                self.opt.remove(&tid);
+                return;
+            }
+        };
+        let (chain, locked) = {
+            let o = self.opt.entry(tid).or_default();
+            (o.chain.clone(), o.locked)
+        };
+        if chain.is_empty() {
+            self.flag(
+                ViolationKind::OptValidation,
+                format!("{tid} claimed a validation with no optimistic reads"),
+            );
+            return;
+        }
+        let Some(comps) = opt_comps(&op) else {
+            self.flag(
+                ViolationKind::OptValidation,
+                format!("{tid}: rename must not take the optimistic fast path"),
+            );
+            return;
+        };
+        // The claim certifies the chain was an unbroken root-to-target
+        // resolution *at this stamp*; the shadow state is the concrete
+        // state at this stamp, so the chain must be exactly the shadow's
+        // resolution trail (both stop at the same missing link).
+        let (trail, _) = self.shadow.resolve(comps);
+        if trail != chain {
+            // Stale at its stamp (a mutation landed between the runtime's
+            // pre-validation and the emission): legal only if the runtime
+            // aborts right away, which its post-validation guarantees.
+            let o = self.opt.entry(tid).or_default();
+            o.chain.clear();
+            o.must_retry = true;
+            return;
+        }
+        self.narration.push(format!(
+            "{tid} claims a validated optimistic chain of {} node(s)",
+            chain.len()
+        ));
+        let read_only = matches!(
+            op,
+            OpDesc::Stat { .. } | OpDesc::Readdir { .. } | OpDesc::Read { .. }
+        );
+        if locked {
+            // The validated chain is admitted as the lock-path witness the
+            // pessimistic walk would have produced (the fast-path lock is
+            // its last element).
+            if let Some(e) = self.pool.get_mut(tid) {
+                e.desc.common = chain.clone();
+            }
+            if read_only {
+                // A locked read (`read` on the terminal file) linearizes
+                // against the concrete-time state, and — like a lockless
+                // completion — the claim IS its linearization point: the
+                // runtime unlocks and returns with no trailing LP.
+                self.lin_claim_effectless(tid, &op);
+            } else {
+                self.lin(tid, LinMode::Claim);
+            }
+        } else {
+            // Fully lockless completion: no Lp will follow — the claim is
+            // the linearization point.
+            self.lin_claim_effectless(tid, &op);
+        }
+        self.opt.entry(tid).or_default().claim = Some(op);
+    }
+
+    /// Linearize an effect-free operation (a read, or a mutation that
+    /// fails without touching anything) at its optimistic claim.
+    ///
+    /// The return value is computed against the *rolled-back* abstract
+    /// state — the concrete-time view. A helped-but-undischarged
+    /// operation's effects are not concrete yet, so that view is what the
+    /// runtime actually read; ordering the effect-free operation before
+    /// those in-flight operations is a legal linearization because both
+    /// overlap it in real time and it changes nothing. Effect-free claims
+    /// never emit a trailing LP (the claim is the linearization point),
+    /// so the thread stays off the Helplist.
+    fn lin_claim_effectless(&mut self, tid: Tid, op: &OpDesc) {
+        if let Some(m) = &self.metrics {
+            m.lin(false);
+        }
+        let ret = match rolled_back(&self.afs, &self.pool) {
+            Ok(mut rolled) => {
+                let mut minted = false;
+                let (effects, ret, aerr) = apply_aop(&mut rolled, op, &mut |_| {
+                    minted = true;
+                    0
+                });
+                if aerr.is_some() || minted || !effects.is_empty() {
+                    self.flag(
+                        ViolationKind::OptValidation,
+                        format!("{tid}: claim of {op} would mutate the abstract state"),
+                    );
+                }
+                ret
+            }
+            Err(e) => {
+                self.flag(
+                    ViolationKind::AbstractionRelation,
+                    format!("{tid}: roll-back at optimistic claim failed: {e}"),
+                );
+                return;
+            }
+        };
+        self.narration
+            .push(format!("{tid} linearized at its optimistic claim => {ret}"));
+        let entry = self.pool.get_mut(tid).expect("caller checked");
+        entry.aop = AopState::Done(ret);
+    }
+
+    fn on_opt_retry(&mut self, tid: Tid) {
+        self.stats.opt_retries += 1;
+        let (claim, locked) = {
+            let o = self.opt.entry(tid).or_default();
+            let claim = o.claim.take();
+            let locked = o.locked;
+            o.chain.clear();
+            o.locked = false;
+            o.must_retry = false;
+            (claim, locked)
+        };
+        let Some(entry) = self.pool.get_mut(tid) else {
+            self.flag(
+                ViolationKind::Protocol,
+                format!("{tid} opt-retried outside any operation"),
+            );
+            return;
+        };
+        if let Some(op) = claim {
+            // The runtime's post-claim validation failed: unwind the
+            // provisional linearization — reverse any recorded effects,
+            // drop minted provisionals (never bound — the concrete
+            // mutations only start after a committed claim), and restore
+            // the pending operation.
+            self.narration
+                .push(format!("{tid} aborts its optimistic claim and retries"));
+            let effects = std::mem::take(&mut entry.desc.effect);
+            let was_helped = entry.desc.helped;
+            entry.desc.helped = false;
+            entry.desc.fut_lock_path.clear();
+            entry.desc.pending_provisionals.clear();
+            entry.desc.common.clear();
+            entry.aop = AopState::Pending(op);
+            for e in effects.iter().rev() {
+                if let Err(err) = self.afs.unapply_micro(e) {
+                    self.flag(
+                        ViolationKind::AbstractionRelation,
+                        format!("{tid}: undo of aborted optimistic claim failed: {err}"),
+                    );
+                }
+            }
+            if was_helped {
+                self.pool.discharge(tid);
+            }
+        } else if locked {
+            // Aborted after its fast-path lock but before claiming: drop
+            // the single-lock path so the retry starts a fresh traversal
+            // (the lock itself is released by the following Unlock).
+            entry.desc.common.clear();
+        }
     }
 
     fn check_relation(&mut self) {
@@ -871,6 +1199,25 @@ impl LpChecker {
 fn compute_fut(op: &OpDesc, locks_taken: usize, afs: &FsState) -> VecDeque<Inum> {
     let seq = predict_lock_sequence(op, afs);
     seq.into_iter().skip(locks_taken).collect()
+}
+
+/// The path components an operation's optimistic chain resolves: the
+/// parent chain for namespace mutations (the victim of a remove is locked
+/// *after* the claim), the full path for node operations. `None` for
+/// renames, which never take the fast path.
+fn opt_comps(op: &OpDesc) -> Option<&[String]> {
+    match op {
+        OpDesc::Mknod { path }
+        | OpDesc::Mkdir { path }
+        | OpDesc::Unlink { path }
+        | OpDesc::Rmdir { path } => Some(path.split_last().map(|(_, p)| p).unwrap_or(&[])),
+        OpDesc::Stat { path }
+        | OpDesc::Readdir { path }
+        | OpDesc::Read { path, .. }
+        | OpDesc::Write { path, .. }
+        | OpDesc::Truncate { path, .. } => Some(path),
+        OpDesc::Rename { .. } => None,
+    }
 }
 
 fn predict_lock_sequence(op: &OpDesc, afs: &FsState) -> Vec<Inum> {
@@ -1097,6 +1444,275 @@ mod tests {
         let mut bad = ok_trace;
         bad[1].0 = 100;
         let report = LpChecker::check_stamped(CheckerConfig::default(), &bad);
+        assert!(!report.is_ok());
+        assert!(!report.of_kind(ViolationKind::Protocol).is_empty());
+    }
+
+    // ---- optimistic-traversal admission ----
+
+    fn cfg_full() -> CheckerConfig {
+        CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::EveryEvent,
+            invariants: true,
+        }
+    }
+
+    /// The instrumented fast-path mkdir grammar: opt-walk to the parent,
+    /// lock it, claim, mutate under the lock, LP, unlock.
+    fn fast_mkdir(tid: Tid, name: &str, new_ino: Inum) -> Vec<Event> {
+        vec![
+            Event::OpBegin {
+                tid,
+                op: OpDesc::Mkdir {
+                    path: comps(&[name]),
+                },
+            },
+            Event::OptRead { tid, ino: 1 },
+            Event::Lock {
+                tid,
+                ino: 1,
+                tag: PathTag::Common,
+            },
+            Event::OptValidate { tid, ok: true },
+            Event::Mutate {
+                tid,
+                mop: MicroOp::Create {
+                    ino: new_ino,
+                    ftype: FileType::Dir,
+                },
+            },
+            Event::Mutate {
+                tid,
+                mop: MicroOp::Ins {
+                    parent: 1,
+                    name: name.to_string(),
+                    child: new_ino,
+                },
+            },
+            Event::Lp { tid },
+            Event::Unlock { tid, ino: 1 },
+            Event::OpEnd { tid, ret: OpRet::Ok },
+        ]
+    }
+
+    #[test]
+    fn fast_path_mkdir_checks_clean() {
+        let trace = fast_mkdir(Tid(1), "a", 2);
+        let report = LpChecker::check(cfg_full(), &trace);
+        report.assert_ok();
+        assert_eq!(report.stats.opt_claims, 1);
+        assert_eq!(report.stats.opt_retries, 0);
+        assert_eq!(report.stats.helps, 0);
+    }
+
+    #[test]
+    fn lockless_stat_claim_is_the_linearization_point() {
+        let mut trace = fast_mkdir(Tid(1), "a", 2);
+        let t = Tid(2);
+        trace.extend([
+            Event::OpBegin {
+                tid: t,
+                op: OpDesc::Stat {
+                    path: comps(&["a"]),
+                },
+            },
+            Event::OptRead { tid: t, ino: 1 },
+            Event::OptRead { tid: t, ino: 2 },
+            Event::OptValidate { tid: t, ok: true },
+            Event::OpEnd {
+                tid: t,
+                ret: OpRet::Stat(atomfs_trace::StatRet {
+                    is_dir: true,
+                    size: 0,
+                }),
+            },
+        ]);
+        let report = LpChecker::check(cfg_full(), &trace);
+        report.assert_ok();
+        assert_eq!(report.stats.opt_claims, 2);
+        // No Lock, no Lp: the claim linearized the stat by itself.
+        assert_eq!(report.stats.lps, 1);
+    }
+
+    #[test]
+    fn failed_validation_without_retry_is_flagged() {
+        let t = Tid(1);
+        let trace = vec![
+            Event::OpBegin {
+                tid: t,
+                op: OpDesc::Stat {
+                    path: comps(&["a"]),
+                },
+            },
+            Event::OptRead { tid: t, ino: 1 },
+            Event::OptValidate { tid: t, ok: false },
+            Event::OpEnd {
+                tid: t,
+                ret: OpRet::Err(atomfs_vfs::FsError::NotFound),
+            },
+        ];
+        let report = LpChecker::check(cfg_full(), &trace);
+        assert!(!report.is_ok());
+        assert!(!report.of_kind(ViolationKind::OptValidation).is_empty());
+    }
+
+    #[test]
+    fn failed_validation_with_retry_and_fallback_checks_clean() {
+        let t = Tid(1);
+        let trace = vec![
+            Event::OpBegin {
+                tid: t,
+                op: OpDesc::Stat {
+                    path: comps(&["a"]),
+                },
+            },
+            Event::OptRead { tid: t, ino: 1 },
+            Event::OptValidate { tid: t, ok: false },
+            Event::OptRetry { tid: t },
+            // Pessimistic fallback: lock-coupled walk fails at the root.
+            Event::Lock {
+                tid: t,
+                ino: 1,
+                tag: PathTag::Common,
+            },
+            Event::Lp { tid: t },
+            Event::Unlock { tid: t, ino: 1 },
+            Event::OpEnd {
+                tid: t,
+                ret: OpRet::Err(atomfs_vfs::FsError::NotFound),
+            },
+        ];
+        let report = LpChecker::check(cfg_full(), &trace);
+        report.assert_ok();
+        assert_eq!(report.stats.opt_retries, 1);
+        assert_eq!(report.stats.opt_claims, 0);
+    }
+
+    #[test]
+    fn aborted_claim_is_undone_exactly() {
+        // A fast-path mkdir claims, then aborts (post-claim validation
+        // failure) and re-runs pessimistically. The abstract effects of
+        // the aborted claim must be unwound, or the final relation check
+        // would see /a twice.
+        let t = Tid(1);
+        let trace = vec![
+            Event::OpBegin {
+                tid: t,
+                op: OpDesc::Mkdir {
+                    path: comps(&["a"]),
+                },
+            },
+            Event::OptRead { tid: t, ino: 1 },
+            Event::Lock {
+                tid: t,
+                ino: 1,
+                tag: PathTag::Common,
+            },
+            Event::OptValidate { tid: t, ok: true },
+            Event::OptRetry { tid: t },
+            Event::Unlock { tid: t, ino: 1 },
+            // Pessimistic retry performs the mkdir for real.
+            Event::Lock {
+                tid: t,
+                ino: 1,
+                tag: PathTag::Common,
+            },
+            Event::Mutate {
+                tid: t,
+                mop: MicroOp::Create {
+                    ino: 2,
+                    ftype: FileType::Dir,
+                },
+            },
+            Event::Mutate {
+                tid: t,
+                mop: MicroOp::Ins {
+                    parent: 1,
+                    name: "a".to_string(),
+                    child: 2,
+                },
+            },
+            Event::Lp { tid: t },
+            Event::Unlock { tid: t, ino: 1 },
+            Event::OpEnd { tid: t, ret: OpRet::Ok },
+        ];
+        let report = LpChecker::check(cfg_full(), &trace);
+        report.assert_ok();
+        assert_eq!(report.stats.opt_claims, 0);
+        assert_eq!(report.stats.opt_retries, 1);
+    }
+
+    #[test]
+    fn stale_chain_claim_must_be_followed_by_retry() {
+        // The emitted chain does not match the shadow resolution (a
+        // concurrent mutation landed between the runtime's validation and
+        // the claim reaching the trace). Legal only if the runtime aborts.
+        let t = Tid(1);
+        let head = vec![
+            Event::OpBegin {
+                tid: t,
+                op: OpDesc::Stat {
+                    path: comps(&["a"]),
+                },
+            },
+            Event::OptRead { tid: t, ino: 1 },
+            Event::OptRead { tid: t, ino: 99 },
+            Event::OptValidate { tid: t, ok: true },
+        ];
+        let mut bad = head.clone();
+        bad.push(Event::OpEnd {
+            tid: t,
+            ret: OpRet::Err(atomfs_vfs::FsError::NotFound),
+        });
+        let report = LpChecker::check(cfg_full(), &bad);
+        assert!(!report.is_ok());
+        assert!(!report.of_kind(ViolationKind::OptValidation).is_empty());
+
+        let mut good = head;
+        good.extend([
+            Event::OptRetry { tid: t },
+            Event::Lock {
+                tid: t,
+                ino: 1,
+                tag: PathTag::Common,
+            },
+            Event::Lp { tid: t },
+            Event::Unlock { tid: t, ino: 1 },
+            Event::OpEnd {
+                tid: t,
+                ret: OpRet::Err(atomfs_vfs::FsError::NotFound),
+            },
+        ]);
+        LpChecker::check(cfg_full(), &good).assert_ok();
+    }
+
+    #[test]
+    fn rename_may_not_take_the_fast_path() {
+        let t = Tid(1);
+        let trace = vec![
+            Event::OpBegin {
+                tid: t,
+                op: OpDesc::Rename {
+                    src: comps(&["a"]),
+                    dst: comps(&["b"]),
+                },
+            },
+            Event::OptRead { tid: t, ino: 1 },
+            Event::OptValidate { tid: t, ok: true },
+        ];
+        let report = LpChecker::check(cfg_full(), &trace);
+        assert!(!report.is_ok());
+        assert!(!report.of_kind(ViolationKind::OptValidation).is_empty());
+    }
+
+    #[test]
+    fn opt_read_outside_an_operation_is_a_protocol_violation() {
+        let trace = vec![Event::OptRead {
+            tid: Tid(1),
+            ino: 1,
+        }];
+        let report = LpChecker::check(cfg_full(), &trace);
         assert!(!report.is_ok());
         assert!(!report.of_kind(ViolationKind::Protocol).is_empty());
     }

@@ -71,9 +71,16 @@ pub fn classify(ev: &Event) -> Transition {
             target: mop.target(),
             is_alloc: matches!(mop, MicroOp::Create { .. }),
         },
-        Event::OpBegin { tid, .. } | Event::Lp { tid } | Event::OpEnd { tid, .. } => {
-            Transition::Ghost { tid: *tid }
-        }
+        // Optimistic-walk events read shared state without writing it: a
+        // lockless read that later *validates* commutes with every guarantee
+        // transition (Mover Logic), so at the rely/guarantee level these are
+        // ghost steps — no concrete shared state changes.
+        Event::OpBegin { tid, .. }
+        | Event::Lp { tid }
+        | Event::OpEnd { tid, .. }
+        | Event::OptRead { tid, .. }
+        | Event::OptValidate { tid, .. }
+        | Event::OptRetry { tid } => Transition::Ghost { tid: *tid },
     }
 }
 
@@ -137,6 +144,10 @@ mod tests {
                 tid: t,
                 ret: OpRet::Ok,
             },
+            Event::OptRead { tid: t, ino: 4 },
+            Event::OptValidate { tid: t, ok: true },
+            Event::OptValidate { tid: t, ok: false },
+            Event::OptRetry { tid: t },
         ] {
             assert_eq!(classify(&ev), Transition::Ghost { tid: t });
         }

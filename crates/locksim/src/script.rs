@@ -304,6 +304,11 @@ fn weigh_op(index: usize, raw: &RawOp, model: &CostModel) -> OpScript {
                 ));
             }
             Event::Lp { .. } => {}
+            // Optimistic-walk steps: a lockless lookup costs the same
+            // per-component work as a locked step but takes no lock;
+            // validation/retry bookkeeping is negligible at this scale.
+            Event::OptRead { .. } => events.push(SimEvent::Work(model.per_lock_step)),
+            Event::OptValidate { .. } | Event::OptRetry { .. } => {}
             Event::OpBegin { .. } | Event::OpEnd { .. } => unreachable!("split above"),
         }
     }

@@ -44,6 +44,21 @@ pub enum Event {
     /// Thread `tid` returned `ret`. Must match the abstract result stored
     /// in the ghost state (`AopState::Done(ret)`).
     OpEnd { tid: Tid, ret: OpRet },
+    /// Thread `tid` visited inode `ino` on the optimistic (lockless) walk:
+    /// it read `ino`'s seqlock, resolved the next component from `ino`'s
+    /// directory without locking, and re-checked the seqlock afterwards
+    /// (hand-over-hand validation). Appends `ino` to the thread's candidate
+    /// validation chain; no ghost lock state changes.
+    OptRead { tid: Tid, ino: Inum },
+    /// Thread `tid` finished an optimistic traversal and re-validated the
+    /// whole chain. `ok: true` admits the chain as a legal `LockPath`
+    /// witness (the checker retrofits it as the descriptor's common path);
+    /// `ok: false` discards it — the thread must follow with [`Event::OptRetry`]
+    /// or a pessimistic fallback ([`Event::Lock`]).
+    OptValidate { tid: Tid, ok: bool },
+    /// Thread `tid` abandons its optimistic attempt (after a failed
+    /// validation, or after a post-claim re-check failed) and starts over.
+    OptRetry { tid: Tid },
 }
 
 impl Event {
@@ -55,7 +70,10 @@ impl Event {
             | Event::Unlock { tid, .. }
             | Event::Mutate { tid, .. }
             | Event::Lp { tid }
-            | Event::OpEnd { tid, .. } => *tid,
+            | Event::OpEnd { tid, .. }
+            | Event::OptRead { tid, .. }
+            | Event::OptValidate { tid, .. }
+            | Event::OptRetry { tid } => *tid,
         }
     }
 }
@@ -69,6 +87,11 @@ impl std::fmt::Display for Event {
             Event::Mutate { tid, mop } => write!(f, "{tid}: {mop}"),
             Event::Lp { tid } => write!(f, "{tid}: LP"),
             Event::OpEnd { tid, ret } => write!(f, "{tid}: end {ret}"),
+            Event::OptRead { tid, ino } => write!(f, "{tid}: opt-read {ino}"),
+            Event::OptValidate { tid, ok } => {
+                write!(f, "{tid}: opt-validate {}", if *ok { "ok" } else { "fail" })
+            }
+            Event::OptRetry { tid } => write!(f, "{tid}: opt-retry"),
         }
     }
 }

@@ -57,10 +57,29 @@ pub fn validate_name(name: &str) -> FsResult<()> {
 /// assert!(normalize("relative").is_err());
 /// ```
 pub fn normalize(path: &str) -> FsResult<Vec<String>> {
+    Ok(normalize_ref(path)?
+        .into_iter()
+        .map(str::to_string)
+        .collect())
+}
+
+/// Like [`normalize`], but the components borrow from `path` — the hot
+/// lookup path does zero heap allocation per component (one `Vec` of fat
+/// pointers per call, nothing per component).
+///
+/// # Examples
+///
+/// ```
+/// use atomfs_vfs::path::normalize_ref;
+/// assert_eq!(normalize_ref("/a//b/./c").unwrap(), vec!["a", "b", "c"]);
+/// assert_eq!(normalize_ref("/a/../b").unwrap(), vec!["b"]);
+/// assert!(normalize_ref("relative").is_err());
+/// ```
+pub fn normalize_ref(path: &str) -> FsResult<Vec<&str>> {
     if !path.starts_with('/') {
         return Err(FsError::InvalidArgument);
     }
-    let mut out: Vec<String> = Vec::new();
+    let mut out: Vec<&str> = Vec::new();
     for comp in path.split('/') {
         match comp {
             "" | "." => {}
@@ -74,7 +93,7 @@ pub fn normalize(path: &str) -> FsResult<Vec<String>> {
                 if name.bytes().any(|b| b == 0) {
                     return Err(FsError::InvalidArgument);
                 }
-                out.push(name.to_string());
+                out.push(name);
             }
         }
     }
@@ -230,6 +249,23 @@ mod tests {
             let comps = normalize(p).unwrap();
             assert_eq!(to_string(&comps), p.to_string());
         }
+    }
+
+    #[test]
+    fn normalize_ref_matches_normalize() {
+        for p in [
+            "/", "/a", "/a/b/c", "/a//b/./c", "/a/../b", "/..", "/../..", "/a/../../b",
+        ] {
+            assert_eq!(
+                normalize(p).unwrap(),
+                normalize_ref(p).unwrap(),
+                "mismatch for {p}"
+            );
+        }
+        assert_eq!(normalize_ref("a/b"), Err(FsError::InvalidArgument));
+        assert_eq!(normalize_ref("/a\0b"), Err(FsError::InvalidArgument));
+        let long = format!("/{}", "x".repeat(MAX_NAME_LEN + 1));
+        assert_eq!(normalize_ref(&long), Err(FsError::NameTooLong));
     }
 
     #[test]

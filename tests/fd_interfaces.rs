@@ -10,11 +10,24 @@
 
 use std::sync::Arc;
 
-use atomfs::AtomFs;
+use atomfs::{AtomFs, AtomFsConfig};
 use atomfs_trace::{set_current_tid, BufferSink, Event, GateSink, OpDesc, OpRet, Tid, TraceSink};
 use atomfs_vfs::{FdTable, FileSystem, OpenOptions};
 use crlh::history::{HEvent, History};
 use crlh::{CheckerConfig, LpChecker};
+
+/// The gated orchestrations below park threads at lock-coupled walk
+/// events (`Lp`, `Mutate`) and assert helper-machinery behaviour, so
+/// they run with the optimistic fast path disabled.
+fn pessimistic_traced(sink: Arc<dyn TraceSink>) -> Arc<AtomFs> {
+    Arc::new(AtomFs::traced_with_config(
+        sink,
+        AtomFsConfig {
+            optimistic: false,
+            ..AtomFsConfig::default()
+        },
+    ))
+}
 
 #[test]
 fn fd_io_through_paths_is_linearizable() {
@@ -40,7 +53,7 @@ fn fd_io_through_paths_is_linearizable() {
 #[test]
 fn fd_read_across_helped_rename_is_linearizable() {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = pessimistic_traced(sink.clone() as Arc<dyn TraceSink>);
     let table = Arc::new(FdTable::new(Arc::clone(&fs)));
     fs.mkdir("/a").unwrap();
     fs.mkdir("/a/e").unwrap();
@@ -155,7 +168,7 @@ fn figure_9_inode_resolved_readdir_is_not_linearizable() {
 #[test]
 fn figure_9_path_resolved_readdir_is_linearizable() {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = pessimistic_traced(sink.clone() as Arc<dyn TraceSink>);
     for d in ["/a", "/a/b", "/a/b/c", "/other"] {
         fs.mkdir(d).unwrap();
     }

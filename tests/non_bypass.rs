@@ -157,7 +157,16 @@ fn atomfs_cannot_be_bypassed() {
     use atomfs_trace::{Event, GateSink};
 
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    // Pessimistic config: the non-bypassable criterion is a property of
+    // the lock-coupled walk, and the parked mknod must be *helped* by the
+    // rename rather than linearized early at an optimistic claim.
+    let fs = Arc::new(AtomFs::traced_with_config(
+        sink.clone() as Arc<dyn TraceSink>,
+        atomfs::AtomFsConfig {
+            optimistic: false,
+            ..atomfs::AtomFsConfig::default()
+        },
+    ));
     fs.mkdir("/a").unwrap();
     fs.mkdir("/a/b").unwrap();
     fs.mkdir("/a/b/c").unwrap();

@@ -147,7 +147,16 @@ fn rename_storm_online_helped_counter_matches_offline_checker() {
     let mut saw_help = false;
     for attempt in 0..12u64 {
         let sink = Arc::new(ShardedSink::new());
-        let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+        // Pessimistic config: helping only happens on the lock-coupled
+        // walk, and an aborted optimistic claim would re-linearize,
+        // breaking the lins == completed-ops accounting below.
+        let fs = Arc::new(AtomFs::traced_with_config(
+            sink.clone() as Arc<dyn TraceSink>,
+            atomfs::AtomFsConfig {
+                optimistic: false,
+                ..atomfs::AtomFsConfig::default()
+            },
+        ));
         mix.setup(&*fs);
         spawn_mix(
             Arc::clone(&fs),

@@ -82,7 +82,15 @@ fn every_operation_kind_can_be_helped() {
     ];
     for (i, case) in cases.iter().enumerate() {
         let sink = Arc::new(GateSink::new(BufferSink::new()));
-        let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+        // Helping only engages on the lock-coupled walk: an optimistic
+        // claim linearizes the parked op before the rename gets there.
+        let fs = Arc::new(AtomFs::traced_with_config(
+            sink.clone() as Arc<dyn TraceSink>,
+            atomfs::AtomFsConfig {
+                optimistic: false,
+                ..atomfs::AtomFsConfig::default()
+            },
+        ));
         for d in ["/a", "/a/e", "/a/e/sub", "/dst"] {
             fs.mkdir(d).unwrap();
         }

@@ -17,8 +17,8 @@ use std::sync::{
     Arc,
 };
 
-use atomfs::AtomFs;
-use atomfs_trace::{set_current_tid, BufferSink, GateSink, Tid, TraceSink};
+use atomfs::{AtomFs, AtomFsConfig};
+use atomfs_trace::{set_current_tid, BufferSink, Event, GateSink, Tid, TraceSink};
 use atomfs_vfs::{FileSystem, FsResult};
 use crlh::history::History;
 use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence};
@@ -30,6 +30,20 @@ struct Scenario {
     setup: fn(&AtomFs),
     op_a: fn() -> OpFn,
     op_b: fn() -> OpFn,
+    /// Disable the optimistic fast path. Scenarios that assert
+    /// `helps > 0` need the lock-coupled walk: an optimistic claim
+    /// linearizes A before B's rename can help it.
+    pessimistic: bool,
+}
+
+fn build_fs(scenario: &Scenario, sink: Arc<dyn TraceSink>) -> AtomFs {
+    AtomFs::traced_with_config(
+        sink,
+        AtomFsConfig {
+            optimistic: !scenario.pessimistic,
+            ..AtomFsConfig::default()
+        },
+    )
 }
 
 /// Count how many trace events op A emits when run alone (the park-point
@@ -37,7 +51,7 @@ struct Scenario {
 /// fresh instance after the same setup.
 fn count_events(scenario: &Scenario) -> usize {
     let sink = Arc::new(BufferSink::new());
-    let fs = AtomFs::traced(sink.clone() as Arc<dyn TraceSink>);
+    let fs = build_fs(scenario, sink.clone() as Arc<dyn TraceSink>);
     (scenario.setup)(&fs);
     sink.take();
     set_current_tid(Tid(9001));
@@ -49,7 +63,7 @@ fn count_events(scenario: &Scenario) -> usize {
 /// completion in the gap. Returns the full trace.
 fn run_with_park(scenario: &Scenario, k: usize) -> Vec<atomfs_trace::Event> {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = Arc::new(build_fs(scenario, sink.clone() as Arc<dyn TraceSink>));
     // Setup runs traced (under the main thread's tid): the checker needs
     // the whole execution from the empty file system.
     set_current_tid(Tid(9000));
@@ -133,6 +147,7 @@ fn explore_rename_vs_mkdir() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.mkdir("/a/b/c")),
         op_b: || Box::new(|fs| fs.rename("/a", "/e")),
+        pessimistic: true,
     };
     let (n, helps) = explore(&s);
     assert!(n > 5);
@@ -149,6 +164,7 @@ fn explore_rename_vs_unlink() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.unlink("/a/b/file")),
         op_b: || Box::new(|fs| fs.rename("/a", "/e")),
+        pessimistic: true,
     };
     let (_, helps) = explore(&s);
     assert!(helps > 0);
@@ -161,6 +177,7 @@ fn explore_rename_vs_stat() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.stat("/a/b/file").map(|_| ())),
         op_b: || Box::new(|fs| fs.rename("/a", "/e")),
+        pessimistic: false,
     };
     explore(&s);
 }
@@ -172,6 +189,7 @@ fn explore_rename_vs_write() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.write("/a/b/file", 0, b"overwrite").map(|_| ())),
         op_b: || Box::new(|fs| fs.rename("/a", "/e")),
+        pessimistic: true,
     };
     let (_, helps) = explore(&s);
     assert!(helps > 0);
@@ -184,6 +202,7 @@ fn explore_rename_vs_rename() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.rename("/a/b/file", "/a/b/moved")),
         op_b: || Box::new(|fs| fs.rename("/a", "/e")),
+        pessimistic: true,
     };
     let (_, helps) = explore(&s);
     assert!(helps > 0);
@@ -198,6 +217,7 @@ fn explore_mkdir_vs_mkdir_same_name() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.mkdir("/a/x")),
         op_b: || Box::new(|fs| fs.mkdir("/a/x")),
+        pessimistic: false,
     };
     explore(&s);
 }
@@ -209,6 +229,7 @@ fn explore_unlink_vs_unlink() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.unlink("/a/b/file")),
         op_b: || Box::new(|fs| fs.unlink("/a/b/file")),
+        pessimistic: false,
     };
     explore(&s);
 }
@@ -220,6 +241,53 @@ fn explore_deep_rename_vs_readdir() {
         setup: setup_tree,
         op_a: || Box::new(|fs| fs.readdir("/a/b").map(|_| ())),
         op_b: || Box::new(|fs| fs.rename("/a/b", "/other/b2")),
+        pessimistic: false,
     };
     explore(&s);
+}
+
+/// A rename that lands in the middle of an optimistic walk must
+/// invalidate it: at some park point the walker's seqlock validation
+/// fails and the trace shows the mandatory `OptRetry` before the
+/// operation completes (by a fresh attempt or the pessimistic
+/// fallback). Every such schedule still checks clean.
+#[test]
+fn explore_rename_invalidates_optimistic_walk() {
+    let s = Scenario {
+        name: "rename(/a/b,/other/b2) vs stat(/a/b/file) [optimistic]",
+        setup: setup_tree,
+        op_a: || Box::new(|fs| fs.stat("/a/b/file").map(|_| ())),
+        op_b: || Box::new(|fs| fs.rename("/a/b", "/other/b2")),
+        pessimistic: false,
+    };
+    let n = count_events(&s);
+    assert!(n >= 4, "optimistic stat must emit a walk worth parking in");
+    let mut retries_seen = 0u64;
+    for k in 0..n {
+        let events = run_with_park(&s, k);
+        let report = LpChecker::check(
+            CheckerConfig {
+                mode: HelperMode::Helpers,
+                relation: RelationCadence::EveryEvent,
+                invariants: true,
+            },
+            &events,
+        );
+        assert!(
+            report.is_ok(),
+            "{} (park at {k}/{n}): {:?}",
+            s.name,
+            report.violations
+        );
+        retries_seen += events
+            .iter()
+            .filter(|e| matches!(e, Event::OptRetry { tid } if *tid == Tid(9001)))
+            .count() as u64;
+        crlh::wgl::check_linearizable(&History::from_trace(&events))
+            .unwrap_or_else(|e| panic!("{} (park at {k}/{n}): WGL rejected: {e}", s.name));
+    }
+    assert!(
+        retries_seen > 0,
+        "some park point must catch the rename mid-walk and force a retry"
+    );
 }

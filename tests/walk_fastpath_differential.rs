@@ -1,0 +1,239 @@
+//! Differential validation of the optimistic fast path.
+//!
+//! The seqlock-validated walk must be an *invisible* optimization: the
+//! same operations against the same state return the same results with
+//! the fast path on or off. These tests pin that equivalence three ways:
+//! sequentially over seeded random scripts, concurrently over a
+//! deterministic disjoint-directory storm, and on a fully contended
+//! 8-thread rename storm whose optimistic trace must still check clean
+//! under the CRL-H checker and linearize under WGL.
+
+use std::sync::Arc;
+
+use atomfs::{AtomFs, AtomFsConfig};
+use atomfs_trace::{set_current_tid, BufferSink, Event, Tid, TraceSink};
+use atomfs_vfs::FileSystem;
+use atomfs_workloads::opmix::OpMix;
+use crlh::history::History;
+use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence};
+
+fn fs_with(optimistic: bool) -> AtomFs {
+    AtomFs::with_config(AtomFsConfig {
+        optimistic,
+        ..AtomFsConfig::default()
+    })
+}
+
+/// xorshift so the script generator needs no external crate.
+fn rng_next(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Run one random op against `fs`, returning a comparable transcript
+/// entry. Readdir output is sorted: the fast path reads the lock-free
+/// index, whose iteration order may differ from the locked directory's.
+fn exec_random(fs: &dyn FileSystem, sel: u64, x: u64) -> String {
+    let d = (x % 3) as u8;
+    let n = ((x >> 8) % 4) as u8;
+    let p = format!("/d{d}/f{n}");
+    match sel % 10 {
+        0 => format!("mknod {p} {:?}", fs.mknod(&p)),
+        1 => format!("mkdir {p} {:?}", fs.mkdir(&p)),
+        2 => format!("unlink {p} {:?}", fs.unlink(&p)),
+        3 => format!("rmdir {p} {:?}", fs.rmdir(&p)),
+        4 => format!(
+            "rename {p} {:?}",
+            fs.rename(&p, &format!("/d{}/f{}", (x >> 16) % 3, (x >> 24) % 4))
+        ),
+        5 => format!(
+            "stat {p} {:?}",
+            fs.stat(&p).map(|m| (m.ftype, m.size))
+        ),
+        6 => format!(
+            "readdir /d{d} {:?}",
+            fs.readdir(&format!("/d{d}")).map(|mut v| {
+                v.sort();
+                v
+            })
+        ),
+        7 => format!("write {p} {:?}", fs.write(&p, x % 16, &[sel as u8; 7])),
+        8 => format!("truncate {p} {:?}", fs.truncate(&p, x % 24)),
+        _ => {
+            let mut buf = [0u8; 12];
+            format!(
+                "read {p} {:?}",
+                fs.read(&p, x % 8, &mut buf).map(|k| buf[..k].to_vec())
+            )
+        }
+    }
+}
+
+/// Sequential scripts: op-for-op identical results with the fast path on
+/// and off, across many seeds.
+#[test]
+fn sequential_scripts_agree_between_configs() {
+    for seed in 1u64..40 {
+        let opt = fs_with(true);
+        let pess = fs_with(false);
+        for f in [&opt, &pess] {
+            for d in 0..3 {
+                f.mkdir(&format!("/d{d}")).unwrap();
+            }
+        }
+        let mut s = seed;
+        for step in 0..200 {
+            let sel = rng_next(&mut s);
+            let x = rng_next(&mut s);
+            let a = exec_random(&opt, sel, x);
+            let b = exec_random(&pess, sel, x);
+            assert_eq!(a, b, "seed {seed} diverged at step {step}");
+        }
+    }
+}
+
+/// Deterministic 8-thread storm: each thread owns one directory, so the
+/// interleaving cannot affect results — per-thread transcripts and the
+/// final tree must be identical between configs.
+#[test]
+fn disjoint_storm_agrees_between_configs() {
+    let transcript = |optimistic: bool| -> (Vec<Vec<String>>, Vec<String>) {
+        let fs = Arc::new(fs_with(optimistic));
+        for t in 0..8 {
+            fs.mkdir(&format!("/d{t}")).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                let mut s = 0x9e37_79b9_7f4a_7c15 ^ t;
+                let mut log = Vec::new();
+                for _ in 0..300 {
+                    let sel = rng_next(&mut s);
+                    let x = rng_next(&mut s);
+                    let n = (x >> 8) % 4;
+                    let p = format!("/d{t}/f{n}");
+                    log.push(match sel % 6 {
+                        0 => format!("mknod {:?}", fs.mknod(&p)),
+                        1 => format!("write {:?}", fs.write(&p, x % 16, b"wf")),
+                        2 => format!("stat {:?}", fs.stat(&p).map(|m| m.size)),
+                        3 => {
+                            let mut buf = [0u8; 8];
+                            format!("read {:?}", fs.read(&p, 0, &mut buf).map(|k| k))
+                        }
+                        4 => format!(
+                            "readdir {:?}",
+                            fs.readdir(&format!("/d{t}")).map(|mut v| {
+                                v.sort();
+                                v
+                            })
+                        ),
+                        _ => format!("unlink {:?}", fs.unlink(&p)),
+                    });
+                }
+                log
+            }));
+        }
+        let logs: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let tree = (0..8)
+            .map(|t| {
+                let mut v = fs.readdir(&format!("/d{t}")).unwrap();
+                v.sort();
+                format!("{v:?}")
+            })
+            .collect();
+        (logs, tree)
+    };
+    let (opt_logs, opt_tree) = transcript(true);
+    let (pess_logs, pess_tree) = transcript(false);
+    assert_eq!(opt_logs, pess_logs);
+    assert_eq!(opt_tree, pess_tree);
+}
+
+/// Contended 8-thread rename storm with the fast path on: the recorded
+/// mixed trace (optimistic claims interleaved with pessimistic
+/// lock-coupled walks and renames) must check clean under the full
+/// CRL-H admission and linearize under WGL, and the fast path must have
+/// actually engaged.
+#[test]
+fn contended_rename_storm_trace_checks_clean() {
+    let sink = Arc::new(BufferSink::new());
+    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let mix = OpMix {
+        dirs: 2,
+        names: 3,
+        rename_weight: 10,
+    };
+    set_current_tid(Tid(7000));
+    mix.setup(&*fs);
+    let mut handles = Vec::new();
+    for t in 0..8u32 {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            set_current_tid(Tid(7001 + t));
+            mix.run(&*fs, 977 + u64::from(t), 120);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = sink.take();
+    let claims = events
+        .iter()
+        .filter(|e| matches!(e, Event::OptValidate { ok: true, .. }))
+        .count();
+    assert!(claims > 0, "the storm must exercise the fast path");
+    let report = LpChecker::check(
+        CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::EveryEvent,
+            invariants: true,
+        },
+        &events,
+    );
+    report.assert_ok();
+    // A claim followed by a post-claim abort (OptRetry) is not committed,
+    // so the committed count can trail the OptValidate{ok} count.
+    assert!(report.stats.opt_claims >= 1);
+    assert!(report.stats.opt_claims as usize <= claims);
+}
+
+/// A storm small enough for the WGL search: its mixed trace must also
+/// admit an explicit linearization witness.
+#[test]
+fn small_mixed_storm_is_wgl_linearizable() {
+    let sink = Arc::new(BufferSink::new());
+    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let mix = OpMix {
+        dirs: 2,
+        names: 2,
+        rename_weight: 8,
+    };
+    set_current_tid(Tid(7100));
+    mix.setup(&*fs);
+    let mut handles = Vec::new();
+    for t in 0..4u32 {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            set_current_tid(Tid(7101 + t));
+            mix.run(&*fs, 31 + u64::from(t), 14);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = sink.take();
+    LpChecker::check(
+        CheckerConfig {
+            mode: HelperMode::Helpers,
+            relation: RelationCadence::EveryEvent,
+            invariants: true,
+        },
+        &events,
+    )
+    .assert_ok();
+    crlh::wgl::check_linearizable(&History::from_trace(&events))
+        .unwrap_or_else(|e| panic!("WGL rejected the mixed trace: {e}"));
+}
