@@ -1,0 +1,245 @@
+//! Committed-write throughput of the sharded, group-committed journal
+//! against the single-stream layout.
+//!
+//! The single-stream `JournalSink` appends every mutation to the device
+//! under one mutex as it happens; the sharded sink stages mutations into
+//! per-shard buffers and a group commit cuts an epoch across all shards
+//! at each `sync`. This bench measures what that buys under contention:
+//! N threads each write 64-byte chunks into their own files (spread over
+//! shards by inode hash) and `sync` every 16 ops, so the metric — acked,
+//! durable writes per second — charges both the staging path and the
+//! commit path.
+//!
+//! Two mixes (write-heavy = 100% writes; mixed = 50/50 read/write) ×
+//! thread counts 1/2/4/8 × layouts: single-stream, sharded at 1/2/4/8
+//! shards with group commit, and 4 shards with group commit off (every
+//! sync cuts its own epoch eagerly — the ablation for the epoch cut
+//! itself). Prints a table and writes `BENCH_journal_sharded.json`.
+//!
+//! Usage:
+//! `cargo run --release -p atomfs-bench --bin journal_sharded -- [ops_per_thread] [--gate]`
+//!
+//! With `--gate`, exits nonzero unless sharded×4 with group commit beats
+//! single-stream by ≥ 2.0x on the write-heavy mix at 8 threads.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use atomfs_bench::report::Table;
+use atomfs_journal::{BlockDevice, Disk, JournaledFs, ShardConfig};
+use atomfs_trace::{set_current_tid, Tid};
+use atomfs_vfs::FileSystem;
+
+const SYNC_EVERY: usize = 16;
+const FILES_PER_THREAD: usize = 16;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+const GATE_BAR: f64 = 2.0;
+
+/// Simulated cost of a flush barrier — the device-side latency every
+/// layout pays on every durability point. A free barrier (the default
+/// `Disk`) makes any commit-strategy comparison meaningless: group
+/// commit's entire job is amortizing this latency across concurrent
+/// syncers, and a real NVMe flush/FUA round trip sits in this range.
+const FLUSH_LATENCY_US: u64 = 100;
+
+#[derive(Clone, Copy)]
+enum Layout {
+    Single,
+    Sharded(ShardConfig),
+}
+
+fn layouts() -> Vec<(&'static str, Layout)> {
+    // Size every shard region for the whole run (the default 16 MiB is a
+    // mount-lifetime budget between checkpoints; this bench never
+    // checkpoints, and the simulated disk only materializes written
+    // sectors, so 64 MiB regions cost nothing until used).
+    let sized = |shards: usize| {
+        let mut cfg = ShardConfig::with_shards(shards);
+        cfg.region_sectors = 1 << 17; // 64 MiB per shard
+        cfg
+    };
+    vec![
+        ("single", Layout::Single),
+        ("sharded1", Layout::Sharded(sized(1))),
+        ("sharded2", Layout::Sharded(sized(2))),
+        ("sharded4", Layout::Sharded(sized(4))),
+        ("sharded8", Layout::Sharded(sized(8))),
+        (
+            "sharded4_nogc",
+            Layout::Sharded(sized(4).without_group_commit()),
+        ),
+    ]
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    WriteHeavy,
+    Mixed5050,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::WriteHeavy => "write_heavy",
+            Mix::Mixed5050 => "mixed_50_50",
+        }
+    }
+}
+
+fn mount(layout: Layout) -> JournaledFs {
+    let disk = Arc::new(Disk::with_flush_latency(std::time::Duration::from_micros(
+        FLUSH_LATENCY_US,
+    ))) as Arc<dyn BlockDevice>;
+    match layout {
+        Layout::Single => JournaledFs::create(disk),
+        Layout::Sharded(cfg) => JournaledFs::create_sharded(disk, cfg),
+    }
+}
+
+/// One timed run: returns committed (synced) writes per second.
+fn run(layout: Layout, mix: Mix, threads: usize, ops_per_thread: usize) -> f64 {
+    let jfs = Arc::new(mount(layout));
+    // Setup outside the timer: a dir per thread, files spread over
+    // shards by their own inode hash (the write path hints the file's
+    // ino, not the parent's).
+    for t in 0..threads {
+        jfs.mkdir(&format!("/t{t}")).unwrap();
+        for f in 0..FILES_PER_THREAD {
+            jfs.mknod(&format!("/t{t}/f{f}")).unwrap();
+        }
+    }
+    jfs.sync().unwrap();
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let jfs = Arc::clone(&jfs);
+        handles.push(std::thread::spawn(move || {
+            set_current_tid(Tid(5000 + t as u32));
+            let paths: Vec<String> = (0..FILES_PER_THREAD)
+                .map(|f| format!("/t{t}/f{f}"))
+                .collect();
+            let payload = [t as u8; 64];
+            let mut scratch = [0u8; 64];
+            let mut writes = 0usize;
+            for i in 0..ops_per_thread {
+                let path = &paths[i % FILES_PER_THREAD];
+                let offset = ((i / FILES_PER_THREAD) % 8) as u64 * 64;
+                let is_write = mix == Mix::WriteHeavy || i % 2 == 0;
+                if is_write {
+                    jfs.write(path, offset, &payload).unwrap();
+                    writes += 1;
+                    if writes % SYNC_EVERY == 0 {
+                        jfs.sync().unwrap();
+                    }
+                } else {
+                    let _ = jfs.read(path, offset, &mut scratch).unwrap();
+                }
+            }
+            jfs.sync().unwrap();
+            writes
+        }));
+    }
+    let committed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    committed as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Best of [`REPS`] runs.
+fn best(mut f: impl FnMut() -> f64) -> f64 {
+    (0..REPS).map(|_| f()).fold(f64::MIN, f64::max)
+}
+
+struct Series {
+    layout: &'static str,
+    mix: &'static str,
+    threads: usize,
+    writes_per_sec: f64,
+}
+
+fn write_json(path: &str, ops_per_thread: usize, series: &[Series], speedup: f64) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"journal_sharded\",\n");
+    out.push_str(&format!("  \"ops_per_thread\": {ops_per_thread},\n"));
+    out.push_str(&format!("  \"sync_every\": {SYNC_EVERY},\n"));
+    out.push_str(&format!("  \"files_per_thread\": {FILES_PER_THREAD},\n"));
+    out.push_str("  \"series\": [\n");
+    let rows: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"layout\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"committed_writes_per_sec\": {:.1}}}",
+                s.layout, s.mix, s.threads, s.writes_per_sec
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"gate\": {{\"metric\": \"sharded4 vs single, write_heavy, 8 threads\", \"speedup\": {:.2}, \"bar\": {GATE_BAR}}}\n",
+        speedup
+    ));
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write BENCH_journal_sharded.json");
+}
+
+fn main() {
+    let mut ops_per_thread = 4_000usize;
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--gate" {
+            gate = true;
+        } else {
+            ops_per_thread = arg.parse().expect("ops_per_thread");
+        }
+    }
+    println!(
+        "Sharded journal group-commit throughput, {ops_per_thread} ops/thread, sync every {SYNC_EVERY} writes"
+    );
+
+    let mut series = Vec::new();
+    for mix in [Mix::WriteHeavy, Mix::Mixed5050] {
+        for (name, layout) in layouts() {
+            for &threads in &THREAD_COUNTS {
+                let wps = best(|| run(layout, mix, threads, ops_per_thread));
+                series.push(Series {
+                    layout: name,
+                    mix: mix.name(),
+                    threads,
+                    writes_per_sec: wps,
+                });
+            }
+        }
+    }
+
+    let lookup = |layout: &str, mix: Mix, threads: usize| {
+        series
+            .iter()
+            .find(|s| s.layout == layout && s.mix == mix.name() && s.threads == threads)
+            .expect("series present")
+            .writes_per_sec
+    };
+    let mut table = Table::new(&["mix", "layout", "1T kw/s", "2T kw/s", "4T kw/s", "8T kw/s"]);
+    for mix in [Mix::WriteHeavy, Mix::Mixed5050] {
+        for (name, _) in layouts() {
+            let mut cells = vec![mix.name().to_string(), name.to_string()];
+            for &threads in &THREAD_COUNTS {
+                cells.push(format!("{:.1}", lookup(name, mix, threads) / 1e3));
+            }
+            table.row(cells);
+        }
+    }
+    table.print();
+
+    let speedup =
+        lookup("sharded4", Mix::WriteHeavy, 8) / lookup("single", Mix::WriteHeavy, 8);
+    write_json("BENCH_journal_sharded.json", ops_per_thread, &series, speedup);
+    println!("\nwrote BENCH_journal_sharded.json");
+    println!(
+        "sharded4 (gc on) vs single at 8 threads, write-heavy: {speedup:.2}x (gate: >= {GATE_BAR}x)"
+    );
+    if gate && speedup < GATE_BAR {
+        eprintln!("GATE FAILED: {speedup:.2}x < {GATE_BAR}x");
+        std::process::exit(1);
+    }
+}

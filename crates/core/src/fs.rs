@@ -154,4 +154,37 @@ impl AtomFs {
             sink.emit(ev());
         }
     }
+
+    /// Hand the sink the operation's primary inode as a shard-routing
+    /// hint (see [`TraceSink::shard_hint`]), first asking the sink to
+    /// admit the mutation at all ([`TraceSink::admit_mutation`]); free
+    /// when untraced. `Err(ReadOnly)` means the sink has lost the
+    /// durability domain behind `primary` — the caller must fail the
+    /// operation *before* its first mutation, so the trace stays exactly
+    /// the mutations the sink could log.
+    #[inline]
+    pub(crate) fn hint(
+        &self,
+        tid: atomfs_trace::Tid,
+        primary: atomfs_trace::Inum,
+    ) -> atomfs_vfs::FsResult<()> {
+        if let Some(sink) = &self.sink {
+            if !sink.admit_mutation(primary) {
+                return Err(atomfs_vfs::FsError::ReadOnly);
+            }
+            sink.shard_hint(tid, primary);
+        }
+        Ok(())
+    }
+
+    /// Admission check alone, for an operation's *secondary* inode (a
+    /// rename's destination parent): no routing hint is delivered, the
+    /// sink just gets a veto.
+    #[inline]
+    pub(crate) fn admit(&self, primary: atomfs_trace::Inum) -> atomfs_vfs::FsResult<()> {
+        match &self.sink {
+            Some(sink) if !sink.admit_mutation(primary) => Err(atomfs_vfs::FsError::ReadOnly),
+            _ => Ok(()),
+        }
+    }
 }

@@ -75,7 +75,14 @@ impl AtomFs {
         err: FsError,
         held: impl IntoIterator<Item = Locked>,
     ) -> FsError {
-        self.emit(|| Event::Lp { tid });
+        // `ReadOnly` arises only from sink admission (a quarantined shard
+        // range or a degraded mount) — an environment abort, not a result
+        // this operation decided against the abstract state. There is no
+        // linearization point to emit for it; the checker accepts the
+        // refusal as an environment step precisely because none was.
+        if err != FsError::ReadOnly {
+            self.emit(|| Event::Lp { tid });
+        }
         for l in held {
             self.unlock(tid, l);
         }
@@ -153,6 +160,7 @@ impl AtomFs {
         if p.as_dir().expect("caller verified").lookup(name).is_some() {
             return Err(FsError::Exists);
         }
+        self.hint(tid, p.ino)?;
         let (ino, iref) = self.table.alloc(ftype)?;
         self.emit(|| Event::Mutate {
             tid,
@@ -231,6 +239,9 @@ impl AtomFs {
         mut p: Locked,
         want_dir: bool,
     ) -> FsResult<()> {
+        if let Err(e) = self.hint(tid, p.ino) {
+            return Err(self.fail(tid, e, [p]));
+        }
         let Some(child_ino) = p.as_dir().expect("caller verified").lookup(name) else {
             return Err(self.fail(tid, FsError::NotFound, [p]));
         };
@@ -432,6 +443,21 @@ impl AtomFs {
         // abstraction relation is relaxed until the unlocks below.
         let sdir_ino = sdir.ino;
         let ddir_ino = ddir.as_ref().map(|d| d.ino).unwrap_or(sdir_ino);
+        // A sharded journal routes the whole rename to the source parent's
+        // shard (the destination shard only receives the seal record) —
+        // but *both* parents' shards must be live: the destination shard
+        // gets the seal, and a rename admitted over a quarantined
+        // destination could never close its intent.
+        if let Err(e) = self
+            .admit(ddir_ino)
+            .and_then(|()| self.hint(tid, sdir_ino))
+        {
+            let mut locks = vec![snode];
+            locks.extend(dnode);
+            locks.push(sdir);
+            locks.extend(ddir);
+            return Err(self.fail(tid, e, locks));
+        }
         let mut dnode_freed = None;
         if let Some(mut d) = dnode {
             let d_is_dir = d.ftype().is_dir();
@@ -725,6 +751,7 @@ impl AtomFs {
         let body = |fs: &AtomFs, node: &mut Locked| {
             let ino = node.ino;
             let f = node.as_file_mut()?;
+            fs.hint(tid, ino)?;
             let old = traced.then(|| f.snapshot(&fs.store));
             let n = f.write(&fs.store, offset, data)?;
             if let Some(old) = old {
@@ -764,6 +791,7 @@ impl AtomFs {
         let body = |fs: &AtomFs, node: &mut Locked| {
             let ino = node.ino;
             let f = node.as_file_mut()?;
+            fs.hint(tid, ino)?;
             let old = traced.then(|| f.snapshot(&fs.store));
             f.truncate(&fs.store, size)?;
             if let Some(old) = old {

@@ -348,6 +348,13 @@ impl AtomFs {
                 continue;
             }
             let &(target, _) = chain.last().expect("nonempty");
+            // Admission runs *before* the claim: a claim linearizes the
+            // operation abstractly, but a refusal (quarantined shard
+            // range) must abort with no abstract step at all. The body's
+            // own `hint` re-checks under the lock.
+            if let Err(e) = self.admit(target.ino()) {
+                return Some(Err(e));
+            }
             let mut locked = self.lock_inode(tid, target.ino(), target, PathTag::Common);
             if !self.opt_claim(tid, &chain, true) {
                 self.unlock(tid, locked);
@@ -401,6 +408,11 @@ impl AtomFs {
                 continue;
             }
             let &(p_slot, _) = chain.last().expect("nonempty");
+            // Admission before the claim (see `opt_file_mutation`): a
+            // refused create must not linearize abstractly.
+            if let Err(e) = self.admit(p_slot.ino()) {
+                return Some(Err(e));
+            }
             let mut p = self.lock_inode(tid, p_slot.ino(), p_slot, PathTag::Common);
             if !self.opt_claim(tid, &chain, true) {
                 self.unlock(tid, p);
@@ -453,6 +465,11 @@ impl AtomFs {
                 continue;
             }
             let &(p_slot, _) = chain.last().expect("nonempty");
+            // Admission before the claim (see `opt_file_mutation`): a
+            // refused remove must not linearize abstractly.
+            if let Err(e) = self.admit(p_slot.ino()) {
+                return Some(Err(e));
+            }
             let p = self.lock_inode(tid, p_slot.ino(), p_slot, PathTag::Common);
             if !self.opt_claim(tid, &chain, true) {
                 self.unlock(tid, p);

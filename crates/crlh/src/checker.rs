@@ -214,6 +214,10 @@ pub struct CheckerStats {
     pub opt_claims: u64,
     /// Optimistic attempts abandoned (`OptRetry` events).
     pub opt_retries: u64,
+    /// Operations refused by the environment (`EROFS` from a quarantined
+    /// shard range or a degraded sink) before reaching a linearization
+    /// point: no abstract step happened and none was required.
+    pub refused: u64,
 }
 
 /// The result of checking one trace.
@@ -926,10 +930,32 @@ impl LpChecker {
                 }
             }
             AopState::Pending(op) => {
-                self.flag(
-                    ViolationKind::NoLinearization,
-                    format!("{tid} completed {op} without being linearized"),
-                );
+                if *ret == OpRet::Err(atomfs_vfs::FsError::ReadOnly) {
+                    // Environment refusal: a quarantined shard range (or a
+                    // degraded sink) aborted the operation before its LP.
+                    // That is an environment step, not a linearization —
+                    // sound only if the concrete side really mutated
+                    // nothing, which any surviving creation falsifies.
+                    if entry.desc.created.is_empty() {
+                        self.stats.refused += 1;
+                        self.narration
+                            .push(format!("{tid} refused by the environment (EROFS)"));
+                    } else {
+                        self.flag(
+                            ViolationKind::Protocol,
+                            format!(
+                                "{tid} was refused with EROFS after creating \
+                                 {} inode(s) concretely",
+                                entry.desc.created.len()
+                            ),
+                        );
+                    }
+                } else {
+                    self.flag(
+                        ViolationKind::NoLinearization,
+                        format!("{tid} completed {op} without being linearized"),
+                    );
+                }
             }
         }
         if self.pool.helplist.contains(&tid) {

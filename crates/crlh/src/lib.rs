@@ -62,6 +62,7 @@ pub mod metrics;
 pub mod online;
 pub mod rg;
 pub mod rollback;
+pub mod shardlog;
 pub mod state;
 pub mod wgl;
 
@@ -71,4 +72,7 @@ pub use checker::{
 };
 pub use history::History;
 pub use online::OnlineChecker;
+pub use shardlog::{
+    merge_stamped, merge_stamped_with_windows, verify_pairing, MergedLog, PairingReport, TxnRecord,
+};
 pub use state::{FsState, Node};

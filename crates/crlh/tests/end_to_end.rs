@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use atomfs::AtomFs;
+use atomfs::{AtomFs, AtomFsConfig};
 use atomfs_trace::{set_current_tid, BufferSink, Event, GateSink, OpDesc, Tid, TraceSink};
 use atomfs_vfs::{FileSystem, FsError};
 use crlh::history::History;
@@ -20,6 +20,20 @@ fn strict() -> CheckerConfig {
         relation: RelationCadence::EveryEvent,
         invariants: true,
     }
+}
+
+/// The staged figures park a thread mid-walk and let a rename overtake
+/// it — a conflict that only exists on the lock-coupled walk. Pin the
+/// pessimistic walk so the optimistic fast path cannot dissolve the
+/// script by seqlock-revalidating past the parked thread.
+fn staged_fs(sink: Arc<dyn TraceSink>) -> AtomFs {
+    AtomFs::traced_with_config(
+        sink,
+        AtomFsConfig {
+            optimistic: false,
+            ..AtomFsConfig::default()
+        },
+    )
 }
 
 fn fixed_lp() -> CheckerConfig {
@@ -62,7 +76,7 @@ fn sequential_operations_check_clean() {
 /// already traversed through /a. The rename's LP must help the mkdir.
 fn figure_1_trace() -> Vec<Event> {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = Arc::new(staged_fs(sink.clone() as Arc<dyn TraceSink>));
     fs.mkdir("/a").unwrap();
     fs.mkdir("/a/b").unwrap();
     // Park the mkdir just before its first mutation: it has finished its
@@ -128,7 +142,7 @@ fn figure_1_fixed_lps_fail() {
 #[test]
 fn figure_4b_external_lp_for_stat() {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = Arc::new(staged_fs(sink.clone() as Arc<dyn TraceSink>));
     for d in ["/a", "/a/e", "/b", "/b/c", "/b/c/d"] {
         fs.mkdir(d).unwrap();
     }
@@ -163,7 +177,7 @@ fn figure_4b_external_lp_for_stat() {
 #[test]
 fn figure_4c_recursive_help() {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = Arc::new(staged_fs(sink.clone() as Arc<dyn TraceSink>));
     for d in ["/a", "/a/e", "/b", "/b/c", "/b/c/d"] {
         fs.mkdir(d).unwrap();
     }
@@ -216,7 +230,7 @@ fn figure_4c_recursive_help() {
 #[test]
 fn helped_operation_with_failure_result() {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = Arc::new(staged_fs(sink.clone() as Arc<dyn TraceSink>));
     fs.mkdir("/a").unwrap();
     fs.mkdir("/a/e").unwrap();
     fs.mkdir("/a/e/sub").unwrap();
@@ -249,7 +263,7 @@ fn helped_operation_with_failure_result() {
 #[test]
 fn helped_write_inside_moved_subtree() {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    let fs = Arc::new(staged_fs(sink.clone() as Arc<dyn TraceSink>));
     fs.mkdir("/a").unwrap();
     fs.mkdir("/a/e").unwrap();
     fs.mkdir("/a/e/sub").unwrap();

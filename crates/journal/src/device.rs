@@ -12,7 +12,6 @@
 //! between and inject errors; `Disk` itself is the perfect device whose
 //! trait impl never fails.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use parking_lot::Mutex;
@@ -84,26 +83,92 @@ pub const SECTOR_SIZE: usize = 512;
 /// One sector's payload.
 pub type Sector = [u8; SECTOR_SIZE];
 
+/// Sectors per durable-store page (one allocation, one dirty bitmap).
+const PAGE_SECTORS: usize = 64;
+
+/// One page of durable sectors: a 32 KiB block plus a bitmap telling
+/// written sectors apart from never-written (zero-reading) ones.
+struct Page {
+    written: u64,
+    data: Box<[Sector; PAGE_SECTORS]>,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Page {
+            written: 0,
+            data: Box::new([[0u8; SECTOR_SIZE]; PAGE_SECTORS]),
+        }
+    }
+}
+
+/// Store `data` as the durable contents of sector `lba`. Free function so
+/// flush/crash can drain the volatile queue while holding the same state
+/// borrow.
+fn insert_durable(durable: &mut Vec<Option<Page>>, lba: u64, data: &Sector) {
+    let (pi, si) = (lba as usize / PAGE_SECTORS, lba as usize % PAGE_SECTORS);
+    if pi >= durable.len() {
+        durable.resize_with(pi + 1, || None);
+    }
+    let page = durable[pi].get_or_insert_with(Page::zeroed);
+    page.data[si] = *data;
+    page.written |= 1 << si;
+}
+
 #[derive(Default)]
 struct DiskState {
-    /// Durable contents.
-    durable: HashMap<u64, Sector>,
+    /// Durable contents, paged by LBA. Flushing a sector into a page is
+    /// an index plus a memcpy — this sits on the journal's group-commit
+    /// barrier, where a hashed store's per-sector probe cost was the
+    /// single largest slice of the commit.
+    durable: Vec<Option<Page>>,
     /// Written but not yet flushed, in write order.
     volatile: Vec<(u64, Sector)>,
     writes: u64,
     flushes: u64,
 }
 
+impl DiskState {
+    fn durable_read(&self, lba: u64) -> Option<Sector> {
+        let (pi, si) = (lba as usize / PAGE_SECTORS, lba as usize % PAGE_SECTORS);
+        let page = self.durable.get(pi)?.as_ref()?;
+        if page.written & (1 << si) != 0 {
+            Some(page.data[si])
+        } else {
+            None
+        }
+    }
+}
+
 /// The simulated device.
 #[derive(Default)]
 pub struct Disk {
     state: Mutex<DiskState>,
+    /// Simulated cost of a non-empty flush barrier (zero by default).
+    flush_latency: std::time::Duration,
 }
 
 impl Disk {
     /// A fresh, zeroed disk.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A disk whose flush barriers take `latency` of wall time when any
+    /// writes are queued (an empty barrier stays free, like a real
+    /// drive acking a flush with nothing in its cache).
+    ///
+    /// The default device flushes in ~zero time, which no storage does:
+    /// a write barrier on real hardware costs tens to hundreds of
+    /// microseconds, and that latency is precisely what group commit
+    /// exists to amortize. Benchmarks comparing commit strategies use
+    /// this constructor so every layout pays the same realistic barrier
+    /// price; correctness tests keep the free default.
+    pub fn with_flush_latency(latency: std::time::Duration) -> Self {
+        Disk {
+            state: Mutex::default(),
+            flush_latency: latency,
+        }
     }
 
     /// Read sector `lba` (unwritten sectors read as zeroes), observing
@@ -114,7 +179,7 @@ impl Disk {
         if let Some((_, data)) = st.volatile.iter().rev().find(|(l, _)| *l == lba) {
             return *data;
         }
-        st.durable.get(&lba).copied().unwrap_or([0u8; SECTOR_SIZE])
+        st.durable_read(lba).unwrap_or([0u8; SECTOR_SIZE])
     }
 
     /// Write sector `lba` into the volatile cache.
@@ -126,12 +191,31 @@ impl Disk {
 
     /// Make everything written so far durable (a write barrier + flush).
     pub fn flush(&self) {
-        let mut st = self.state.lock();
-        let queued = std::mem::take(&mut st.volatile);
-        for (lba, data) in queued {
-            st.durable.insert(lba, data);
+        let drained = {
+            let mut st = self.state.lock();
+            let DiskState {
+                durable, volatile, ..
+            } = &mut *st;
+            for (lba, data) in volatile.iter() {
+                insert_durable(durable, *lba, data);
+            }
+            let drained = volatile.len();
+            // Clear in place: the queue's capacity is reused by the next
+            // burst of writes instead of being regrown from empty each
+            // cycle.
+            volatile.clear();
+            st.flushes += 1;
+            drained
+        };
+        // The simulated barrier latency runs outside the state lock, and
+        // it sleeps rather than spins: the device is busy but the CPU is
+        // not, exactly like a thread in io-wait. Writes issued while the
+        // barrier is in flight queue up behind it (they stay volatile
+        // until the *next* flush), like a real drive's cache accepting
+        // writes while it drains.
+        if drained > 0 && !self.flush_latency.is_zero() {
+            std::thread::sleep(self.flush_latency);
         }
-        st.flushes += 1;
     }
 
     /// Crash: drop the volatile cache, except that for each queued write
@@ -140,12 +224,34 @@ impl Disk {
     /// power-cut, or a random predicate for adversarial reordering.
     pub fn crash(&self, mut keep: impl FnMut(usize) -> bool) {
         let mut st = self.state.lock();
-        let queued = std::mem::take(&mut st.volatile);
-        for (i, (lba, data)) in queued.into_iter().enumerate() {
+        let DiskState {
+            durable, volatile, ..
+        } = &mut *st;
+        for (i, (lba, data)) in volatile.iter().enumerate() {
             if keep(i) {
-                st.durable.insert(lba, data);
+                insert_durable(durable, *lba, data);
             }
         }
+        volatile.clear();
+    }
+
+    /// Crash, keeping exactly the queued writes whose target LBA
+    /// satisfies `keep` — modelling a drive that persisted one region's
+    /// queued writes (one flash channel, one platter zone) but not
+    /// another's. This is how the sharded-journal tests land a rename's
+    /// intent durably while its seal (queued for a different shard's
+    /// region) is lost.
+    pub fn crash_keep_lbas(&self, mut keep: impl FnMut(u64) -> bool) {
+        let mut st = self.state.lock();
+        let DiskState {
+            durable, volatile, ..
+        } = &mut *st;
+        for (lba, data) in volatile.iter() {
+            if keep(*lba) {
+                insert_durable(durable, *lba, data);
+            }
+        }
+        volatile.clear();
     }
 
     /// Total sector writes issued.
@@ -164,13 +270,27 @@ impl Disk {
     /// win on read, exactly like a real drive's cache would.
     pub fn corrupt_durable(&self, lba: u64, byte: usize, mask: u8) {
         let mut st = self.state.lock();
-        let sector = st.durable.entry(lba).or_insert([0u8; SECTOR_SIZE]);
-        sector[byte % SECTOR_SIZE] ^= mask;
+        let (pi, si) = (lba as usize / PAGE_SECTORS, lba as usize % PAGE_SECTORS);
+        if pi >= st.durable.len() {
+            st.durable.resize_with(pi + 1, || None);
+        }
+        let page = st.durable[pi].get_or_insert_with(Page::zeroed);
+        page.written |= 1 << si;
+        page.data[si][byte % SECTOR_SIZE] ^= mask;
     }
 
     /// The highest LBA that currently holds durable data, if any.
     pub fn max_durable_lba(&self) -> Option<u64> {
-        self.state.lock().durable.keys().copied().max()
+        let st = self.state.lock();
+        for (pi, page) in st.durable.iter().enumerate().rev() {
+            if let Some(page) = page {
+                if page.written != 0 {
+                    let top = 63 - page.written.leading_zeros() as usize;
+                    return Some((pi * PAGE_SECTORS + top) as u64);
+                }
+            }
+        }
+        None
     }
 }
 

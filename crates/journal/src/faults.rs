@@ -55,6 +55,15 @@ pub struct FaultPlan {
     pub bit_flip: Rate,
     /// Device ops after which the device fails permanently.
     pub fail_after: Option<u64>,
+    /// When set, faults strike only sector ops targeting LBAs in this
+    /// half-open range — out-of-range ops bypass the fault layer
+    /// entirely (they neither fail nor advance the fault stream), and
+    /// bit-flip victims are drawn from the range. This models a
+    /// *localized* media failure, e.g. one shard region of a sharded
+    /// journal dying while its siblings stay healthy. Flush is a
+    /// device-wide barrier with no LBA, so a region-scoped plan leaves
+    /// it fault-free.
+    pub region: Option<(u64, u64)>,
 }
 
 impl FaultPlan {
@@ -68,6 +77,7 @@ impl FaultPlan {
             torn_write: 0,
             bit_flip: 0,
             fail_after: None,
+            region: None,
         }
     }
 
@@ -94,6 +104,13 @@ impl FaultPlan {
     /// Kill the device permanently after `ops` device operations.
     pub fn with_permanent_failure_after(mut self, ops: u64) -> Self {
         self.fail_after = Some(ops);
+        self
+    }
+
+    /// Confine every fault class to LBAs in `[start, end)` (see
+    /// [`FaultPlan::region`]).
+    pub fn with_region(mut self, start: u64, end: u64) -> Self {
+        self.region = Some((start, end));
         self
     }
 
@@ -234,10 +251,18 @@ impl FaultyDisk {
     fn roll(st: &mut FaultState, rate: Rate) -> bool {
         rate > 0 && (splitmix(&mut st.rng) & 0xFFFF) < u64::from(rate)
     }
+
+    /// Whether `lba` is subject to this plan's faults.
+    fn in_region(&self, lba: u64) -> bool {
+        self.plan.region.map_or(true, |(s, e)| lba >= s && lba < e)
+    }
 }
 
 impl BlockDevice for FaultyDisk {
     fn read(&self, lba: u64) -> Result<Sector, DiskError> {
+        if !self.in_region(lba) {
+            return Ok(self.inner.read(lba));
+        }
         let mut st = self.state.lock();
         self.gate(&mut st)?;
         if Self::roll(&mut st, self.plan.transient_read) {
@@ -248,6 +273,10 @@ impl BlockDevice for FaultyDisk {
     }
 
     fn write(&self, lba: u64, data: &Sector) -> Result<(), DiskError> {
+        if !self.in_region(lba) {
+            self.inner.write(lba, data);
+            return Ok(());
+        }
         let mut st = self.state.lock();
         self.gate(&mut st)?;
         if Self::roll(&mut st, self.plan.transient_write) {
@@ -272,19 +301,27 @@ impl BlockDevice for FaultyDisk {
 
     fn flush(&self) -> Result<(), DiskError> {
         let mut st = self.state.lock();
-        self.gate(&mut st)?;
-        if Self::roll(&mut st, self.plan.transient_flush) {
-            st.stats.transient_flushes += 1;
-            return Err(DiskError::Transient(DiskOp::Flush));
+        if self.plan.region.is_none() {
+            self.gate(&mut st)?;
+            if Self::roll(&mut st, self.plan.transient_flush) {
+                st.stats.transient_flushes += 1;
+                return Err(DiskError::Transient(DiskOp::Flush));
+            }
         }
         self.inner.flush();
         if Self::roll(&mut st, self.plan.bit_flip) {
-            // Silent media rot: one random durable bit inverts.
-            st.stats.bit_flips += 1;
-            let lba = splitmix(&mut st.rng) % (st.max_lba + 1);
-            let byte = (splitmix(&mut st.rng) as usize) % SECTOR_SIZE;
-            let mask = 1u8 << (splitmix(&mut st.rng) % 8);
-            self.inner.corrupt_durable(lba, byte, mask);
+            // Silent media rot: one random durable bit inverts. Victims
+            // come from the written range, intersected with a region
+            // when the plan is region-scoped.
+            let (lo, hi) = self.plan.region.unwrap_or((0, u64::MAX));
+            let hi = hi.min(st.max_lba + 1);
+            if lo < hi {
+                st.stats.bit_flips += 1;
+                let lba = lo + splitmix(&mut st.rng) % (hi - lo);
+                let byte = (splitmix(&mut st.rng) as usize) % SECTOR_SIZE;
+                let mask = 1u8 << (splitmix(&mut st.rng) % 8);
+                self.inner.corrupt_durable(lba, byte, mask);
+            }
         }
         Ok(())
     }
@@ -382,6 +419,41 @@ mod tests {
         assert_eq!(dev.stats().bit_flips, 1);
         let flipped: u32 = disk.read(0).iter().map(|b| b.count_ones()).sum();
         assert_eq!(flipped, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn region_scoped_plan_spares_out_of_region_lbas() {
+        let disk = Arc::new(Disk::new());
+        let dev = FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(0)
+                .with_permanent_failure_after(0)
+                .with_region(100, 200),
+        );
+        // Out-of-region traffic bypasses the fault layer entirely...
+        dev.write(5, &sect(1)).unwrap();
+        assert_eq!(dev.read(5).unwrap(), sect(1));
+        dev.flush().unwrap();
+        // ...while the region is dead on arrival.
+        assert_eq!(dev.write(150, &sect(2)), Err(DiskError::Gone));
+        assert_eq!(dev.read(150), Err(DiskError::Gone));
+        assert!(dev.stats().gone);
+        // Bit flips scoped to a region never leave it.
+        let disk = Arc::new(Disk::new());
+        let dev = FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(3).with_bit_flips(65_536).with_region(2, 4),
+        );
+        for lba in 0..6 {
+            dev.write(lba, &sect(0)).unwrap();
+        }
+        dev.flush().unwrap();
+        assert_eq!(dev.stats().bit_flips, 1);
+        for lba in [0u64, 1, 4, 5] {
+            assert_eq!(disk.read(lba), sect(0), "flip escaped to LBA {lba}");
+        }
+        let flipped: u32 = (2..4).map(|l| disk.read(l).iter().map(|b| b.count_ones()).sum::<u32>()).sum();
+        assert_eq!(flipped, 1);
     }
 
     #[test]

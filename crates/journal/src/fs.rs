@@ -20,7 +20,7 @@
 //! logged under a higher epoch, become the new generation's checkpoint.
 //! Recovery therefore doubles as log compaction.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use atomfs::AtomFs;
@@ -30,14 +30,19 @@ use atomfs_vfs::{FileSystem, FsError, FsResult, Metadata};
 use parking_lot::Mutex;
 
 use crate::device::{BlockDevice, Disk, DiskError};
+use crate::group_commit::ShardedJournalSink;
 use crate::health::{Health, HealthCounters, HealthReport, RecoverySummary, RetryPolicy};
-use crate::journal::{recover, Journal, SkippedRecord};
+use crate::journal::{recover, Journal, SkipTotals, SkippedRecord};
+use crate::shard::ShardConfig;
 
 /// Trace sink that appends every mutation to the journal, degrading the
 /// mount instead of panicking when the device defeats the retry policy.
 pub struct JournalSink {
     journal: Mutex<Journal>,
     health: Mutex<Health>,
+    /// Lock-free mirror of `health.is_degraded()`, so the per-mutation
+    /// and per-call degraded checks never touch the health mutex.
+    degraded: AtomicBool,
     counters: Arc<HealthCounters>,
     /// Mutation events that arrived while already degraded (the FS above
     /// should be refusing mutations by then, so this staying 0 is itself
@@ -55,6 +60,7 @@ impl JournalSink {
         JournalSink {
             journal: Mutex::new(journal),
             health: Mutex::new(Health::Healthy),
+            degraded: AtomicBool::new(false),
             counters,
             dropped: AtomicU64::new(0),
             recovery: Mutex::new(None),
@@ -65,8 +71,10 @@ impl JournalSink {
     /// degraded: an `Err` here means *nothing since the last `Ok` sync
     /// is guaranteed durable*, so callers must not ack that data.
     pub fn sync(&self) -> Result<(), DiskError> {
-        if let Health::Degraded { cause, .. } = *self.health.lock() {
-            return Err(cause);
+        if self.degraded.load(Ordering::Relaxed) {
+            if let Health::Degraded { cause, .. } = *self.health.lock() {
+                return Err(cause);
+            }
         }
         let result = self.journal.lock().commit();
         if let Err(cause) = result {
@@ -121,8 +129,14 @@ impl JournalSink {
                 cause,
                 failed_at_seq,
             };
+            self.degraded.store(true, Ordering::Relaxed);
             self.counters.degraded_flips.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Lock-free degraded check for per-operation fast paths.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 }
 
@@ -136,7 +150,7 @@ impl TraceSink for JournalSink {
     /// event for the journal's sake.
     fn emit_ref(&self, event: &Event) {
         if let Event::Mutate { mop, .. } = event {
-            if self.health.lock().is_degraded() {
+            if self.degraded.load(Ordering::Relaxed) {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -167,20 +181,45 @@ pub struct RecoveryStats {
     pub inodes: usize,
     /// Records past the replayed prefix that the recovery scrub refused,
     /// itemized with offset and classification (empty for a clean log).
+    /// Itemization is capped by the scrub budget; `skip_totals` counts
+    /// past the cap.
     pub skipped: Vec<SkippedRecord>,
+    /// Complete per-class census of everything the scrub refused —
+    /// cap-independent, so a heavily damaged region cannot undercount.
+    pub skip_totals: SkipTotals,
+    /// Stamps skipped under the license of recovered quarantine windows:
+    /// mutations known lost with a dead shard (sharded mounts only;
+    /// always 0 for a run that saw no quarantine).
+    pub lost_ops: usize,
+    /// Admitted ops the tolerant replay had to skip because a lost
+    /// window orphaned them (e.g. a link whose target's creation died
+    /// with the dead shard). Always 0 when `lost_ops` is 0 — a clean log
+    /// replays strictly.
+    pub unreplayable_ops: usize,
 }
 
 impl RecoveryStats {
     /// The `Copy` digest of these stats that [`HealthReport`] carries.
+    /// Built from the cap-independent census, so the digest stays honest
+    /// even when the itemized list overflowed its budget.
     pub fn summary(&self) -> RecoverySummary {
-        RecoverySummary::new(self.epoch, self.ops_replayed as u64, &self.skipped)
+        RecoverySummary::from_totals(self.epoch, self.ops_replayed as u64, &self.skip_totals)
     }
+}
+
+/// Which log implementation a [`JournaledFs`] mount writes through: the
+/// original single-stream [`JournalSink`] or the sharded, group-committed
+/// [`ShardedJournalSink`]. Internal — callers reach the concrete sink via
+/// [`JournaledFs::sink`] / [`JournaledFs::sharded_sink`].
+pub(crate) enum SinkKind {
+    Single(Arc<JournalSink>),
+    Sharded(Arc<ShardedJournalSink>),
 }
 
 /// AtomFS with an operation log under it.
 pub struct JournaledFs {
     fs: Arc<AtomFs>,
-    sink: Arc<JournalSink>,
+    sink: SinkKind,
 }
 
 impl JournaledFs {
@@ -208,15 +247,58 @@ impl JournaledFs {
 
     fn with_journal(journal: Journal, observer: Option<Arc<dyn TraceSink>>) -> Self {
         let sink = Arc::new(JournalSink::new(journal));
+        let fs = Self::traced_over(Arc::clone(&sink) as Arc<dyn TraceSink>, observer);
+        JournaledFs {
+            fs,
+            sink: SinkKind::Single(sink),
+        }
+    }
+
+    /// Format `device` with a fresh sharded (generation-1) log laid out
+    /// per `cfg` and mount an empty file system over it. Writers stage
+    /// into per-shard buffers; [`FileSystem::sync`] group-commits an
+    /// epoch across every shard.
+    pub fn create_sharded(device: Arc<dyn BlockDevice>, cfg: ShardConfig) -> Self {
+        Self::with_sharded(ShardedJournalSink::new(device, cfg), None)
+    }
+
+    /// [`JournaledFs::create_sharded`] plus an extra trace sink observing
+    /// the same event stream (checker observation of sharded mounts).
+    pub fn create_sharded_observed(
+        device: Arc<dyn BlockDevice>,
+        cfg: ShardConfig,
+        observer: Arc<dyn TraceSink>,
+    ) -> Self {
+        Self::with_sharded(ShardedJournalSink::new(device, cfg), Some(observer))
+    }
+
+    /// [`JournaledFs::create_sharded_observed`] with one device per shard
+    /// — distinct fault domains, so a failure confined to one device
+    /// quarantines only that shard's inode range instead of degrading
+    /// the whole mount. `devices.len()` must equal `cfg`'s shard count.
+    pub fn create_sharded_observed_with_devices(
+        devices: Vec<Arc<dyn BlockDevice>>,
+        cfg: ShardConfig,
+        observer: Arc<dyn TraceSink>,
+    ) -> Self {
+        Self::with_sharded(ShardedJournalSink::with_devices(devices, cfg), Some(observer))
+    }
+
+    fn with_sharded(sink: ShardedJournalSink, observer: Option<Arc<dyn TraceSink>>) -> Self {
+        let sink = Arc::new(sink);
+        let fs = Self::traced_over(Arc::clone(&sink) as Arc<dyn TraceSink>, observer);
+        JournaledFs {
+            fs,
+            sink: SinkKind::Sharded(sink),
+        }
+    }
+
+    fn traced_over(sink: Arc<dyn TraceSink>, observer: Option<Arc<dyn TraceSink>>) -> Arc<AtomFs> {
         let tap: Arc<dyn TraceSink> = match observer {
-            None => Arc::clone(&sink) as Arc<dyn TraceSink>,
-            Some(observer) => Arc::new(FanoutSink(vec![
-                Arc::clone(&sink) as Arc<dyn TraceSink>,
-                observer,
-            ])),
+            None => sink,
+            Some(observer) => Arc::new(FanoutSink(vec![sink, observer])),
         };
-        let fs = Arc::new(AtomFs::traced(tap));
-        JournaledFs { fs, sink }
+        Arc::new(AtomFs::traced(tap))
     }
 
     /// Recover after a crash: replay the surviving log prefix and mount
@@ -254,14 +336,79 @@ impl JournaledFs {
             log_bytes: recovered.end_pos,
             inodes: state.map.len(),
             skipped: recovered.skipped.clone(),
+            skip_totals: recovered.skip_totals,
+            lost_ops: 0,
+            unreplayable_ops: 0,
         };
         let journal = Journal::create_with(device, recovered.epoch + 1, policy);
         let journaled = Self::with_journal(journal, None);
-        journaled.sink.set_recovery(stats.summary());
+        if let SinkKind::Single(sink) = &journaled.sink {
+            sink.set_recovery(stats.summary());
+        }
         materialize(&*journaled.fs, &state)?;
         // Checkpoint barrier. On failure the sink has already flipped to
         // degraded: the mount is served from memory and acks nothing.
-        let _ = journaled.sink.sync();
+        if let SinkKind::Single(sink) = &journaled.sink {
+            let _ = sink.sync();
+        }
+        Ok((journaled, stats))
+    }
+
+    /// Recover a sharded log after a crash: scan every shard region (in
+    /// parallel), pair rename intents with their seals, replay the
+    /// surviving global-stamp prefix, and mount a file system with that
+    /// content, checkpointing it into a new log generation. The
+    /// checkpoint commit is *forced*, so every shard carries at least an
+    /// `EpochSeal` frame of the new generation — which is how the next
+    /// recovery detects that older-generation frames are stale.
+    pub fn recover_sharded(disk: Arc<Disk>, cfg: ShardConfig) -> FsResult<(Self, RecoveryStats)> {
+        let device = Arc::clone(&disk) as Arc<dyn BlockDevice>;
+        Self::recover_sharded_with(disk, device, cfg)
+    }
+
+    /// [`JournaledFs::recover_sharded`] writing the new generation's
+    /// checkpoint through `device` (which may be fault-injected). As with
+    /// [`JournaledFs::recover_with`], the scan reads the raw platter and
+    /// a defeated checkpoint degrades the mount rather than failing the
+    /// recovery.
+    pub fn recover_sharded_with(
+        disk: Arc<Disk>,
+        device: Arc<dyn BlockDevice>,
+        cfg: ShardConfig,
+    ) -> FsResult<(Self, RecoveryStats)> {
+        let recovered = crate::recovery::recover_sharded(&disk, &cfg);
+        // A log with recovered quarantine windows is *expected* to have
+        // holes the strict replay rejects (ops orphaned by the recorded
+        // loss): replay tolerantly, counting the skips. A log without
+        // windows keeps the strict contract — any replay failure there
+        // still indicates a foreign or tampered disk.
+        let (state, unreplayable_ops) = if recovered.lost_windows.is_empty() {
+            (
+                recovered.replay().map_err(|_| FsError::InvalidArgument)?,
+                0,
+            )
+        } else {
+            recovered.replay_tolerant()
+        };
+        let stats = RecoveryStats {
+            epoch: recovered.gen as u64,
+            ops_replayed: recovered.ops.len() - unreplayable_ops,
+            log_bytes: recovered.log_bytes(),
+            inodes: state.map.len(),
+            skipped: recovered.skipped(),
+            skip_totals: recovered.skip_totals(),
+            lost_ops: recovered.lost_ops,
+            unreplayable_ops,
+        };
+        let sink = ShardedJournalSink::with_gen(device, cfg, recovered.gen + 1);
+        sink.set_recovery(stats.summary());
+        let journaled = Self::with_sharded(sink, None);
+        materialize(&*journaled.fs, &state)?;
+        if let SinkKind::Sharded(sink) = &journaled.sink {
+            // Forced checkpoint barrier: every shard gets a frame of the
+            // new generation. On failure the sink has already degraded.
+            let _ = sink.commit(true);
+        }
         Ok((journaled, stats))
     }
 
@@ -270,32 +417,66 @@ impl JournaledFs {
         &self.fs
     }
 
-    /// The journal sink under the mount (for health inspection and
-    /// metrics bridging).
+    /// The single-stream journal sink under the mount (for health
+    /// inspection and metrics bridging).
+    ///
+    /// # Panics
+    ///
+    /// On a sharded mount — use [`JournaledFs::sharded_sink`] there.
     pub fn sink(&self) -> &Arc<JournalSink> {
+        match &self.sink {
+            SinkKind::Single(sink) => sink,
+            SinkKind::Sharded(_) => panic!("sink(): this is a sharded mount"),
+        }
+    }
+
+    /// The sharded journal sink under the mount, or `None` for a
+    /// single-stream mount.
+    pub fn sharded_sink(&self) -> Option<&Arc<ShardedJournalSink>> {
+        match &self.sink {
+            SinkKind::Single(_) => None,
+            SinkKind::Sharded(sink) => Some(sink),
+        }
+    }
+
+    pub(crate) fn sink_kind(&self) -> &SinkKind {
         &self.sink
     }
 
     /// Current storage health of the mount.
     pub fn health(&self) -> Health {
-        self.sink.health()
+        match &self.sink {
+            SinkKind::Single(sink) => sink.health(),
+            SinkKind::Sharded(sink) => sink.health(),
+        }
     }
 
     /// Health plus fault/retry counters.
     pub fn health_report(&self) -> HealthReport {
-        self.sink.health_report()
+        match &self.sink {
+            SinkKind::Single(sink) => sink.health_report(),
+            SinkKind::Sharded(sink) => sink.health_report(),
+        }
     }
 
-    /// Bytes in the current log generation.
+    /// Bytes in the current log generation (summed over shards for a
+    /// sharded mount).
     pub fn log_bytes(&self) -> u64 {
-        self.sink.log_bytes()
+        match &self.sink {
+            SinkKind::Single(sink) => sink.log_bytes(),
+            SinkKind::Sharded(sink) => sink.log_bytes(),
+        }
     }
 
     /// Refuse mutations on a degraded mount *before* they reach AtomFS,
     /// so the in-memory tree (and the trace the checker replays) only
     /// ever contains mutations the journal accepted for logging.
     fn guard_writable(&self) -> FsResult<()> {
-        if self.sink.health().is_degraded() {
+        let degraded = match &self.sink {
+            SinkKind::Single(sink) => sink.is_degraded(),
+            SinkKind::Sharded(sink) => sink.is_degraded(),
+        };
+        if degraded {
             return Err(FsError::ReadOnly);
         }
         Ok(())
@@ -348,7 +529,10 @@ impl FileSystem for JournaledFs {
     /// yields a prefix). Exhausted retries surface as [`FsError::Io`]
     /// and flip the mount to degraded mode.
     fn sync(&self) -> FsResult<()> {
-        self.sink.sync().map_err(FsError::from)
+        match &self.sink {
+            SinkKind::Single(sink) => sink.sync().map_err(FsError::from),
+            SinkKind::Sharded(sink) => sink.sync().map_err(FsError::from),
+        }
     }
 }
 
@@ -529,7 +713,12 @@ mod tests {
         let disk = Arc::new(Disk::new());
         let dev = Arc::new(FaultyDisk::new(
             Arc::clone(&disk),
-            FaultPlan::none(0).with_permanent_failure_after(6),
+            // One device write per appended event (the writer caches its
+            // tail sector, so appends never read). A budget of 7 puts the
+            // failure on the final event of a two-event mknod — a mutation
+            // boundary — so the health gate stops everything after it and
+            // nothing is dropped mid-mutation.
+            FaultPlan::none(0).with_permanent_failure_after(7),
         ));
         let jfs = JournaledFs::create(dev);
         // Mutate until the device dies under the journal.
@@ -639,6 +828,99 @@ mod tests {
         assert!(jfs.health().is_degraded());
         // Several appends may fail, but the transition is counted once.
         assert_eq!(jfs.health_report().degraded_flips, 1);
+    }
+
+    #[test]
+    fn sharded_create_sync_recover_roundtrip() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let jfs = JournaledFs::create_sharded(Arc::clone(&disk) as Arc<dyn BlockDevice>, cfg);
+        jfs.mkdir("/docs").unwrap();
+        jfs.mknod("/docs/a").unwrap();
+        jfs.write("/docs/a", 0, b"durable").unwrap();
+        jfs.rename("/docs/a", "/a").unwrap();
+        jfs.sync().unwrap();
+        let sink = jfs.sharded_sink().unwrap();
+        assert!(sink.sealed_epoch() >= 1, "sync seals an epoch");
+        drop(jfs);
+        disk.crash(|_| false);
+        let (r, stats) = JournaledFs::recover_sharded(Arc::clone(&disk), cfg).unwrap();
+        assert_eq!(r.read_to_vec("/a").unwrap(), b"durable");
+        assert_eq!(r.stat("/docs/a"), Err(FsError::NotFound));
+        assert_eq!(stats.epoch, 1);
+        assert!(stats.ops_replayed >= 4);
+        assert!(stats.skipped.is_empty());
+        // Second-generation mount keeps working and re-recovers.
+        r.mkdir("/gen2").unwrap();
+        r.sync().unwrap();
+        drop(r);
+        disk.crash(|_| false);
+        let (r2, s2) = JournaledFs::recover_sharded(disk, ShardConfig::default()).unwrap();
+        assert_eq!(s2.epoch, 2, "checkpoint bumped the generation");
+        assert!(r2.stat("/a").is_ok());
+        assert!(r2.stat("/gen2").is_ok());
+    }
+
+    #[test]
+    fn sharded_unsynced_tail_is_lost_cleanly() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let jfs = JournaledFs::create_sharded(Arc::clone(&disk) as Arc<dyn BlockDevice>, cfg);
+        jfs.mkdir("/kept").unwrap();
+        jfs.sync().unwrap();
+        jfs.mkdir("/lost").unwrap();
+        drop(jfs);
+        disk.crash(|_| false);
+        let (r, _) = JournaledFs::recover_sharded(disk, cfg).unwrap();
+        assert!(r.stat("/kept").is_ok());
+        assert_eq!(r.stat("/lost"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn sharded_mount_spreads_load_and_reports_per_shard() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::with_shards(4);
+        let jfs = JournaledFs::create_sharded(Arc::clone(&disk) as Arc<dyn BlockDevice>, cfg);
+        for i in 0..32 {
+            jfs.mkdir(&format!("/d{i}")).unwrap();
+            jfs.mknod(&format!("/d{i}/f")).unwrap();
+        }
+        jfs.sync().unwrap();
+        let sink = jfs.sharded_sink().unwrap();
+        let reports = sink.shard_reports();
+        assert_eq!(reports.len(), 4);
+        let busy = reports.iter().filter(|r| r.log_bytes > 0).count();
+        assert!(busy >= 2, "files under distinct parents hit >1 shard");
+        assert_eq!(jfs.log_bytes(), reports.iter().map(|r| r.log_bytes).sum());
+    }
+
+    #[test]
+    fn sharded_dead_device_degrades_instead_of_panicking() {
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(0).with_permanent_failure_after(6),
+        ));
+        let jfs = JournaledFs::create_sharded(dev, ShardConfig::default());
+        let mut hit_degraded = false;
+        for i in 0..200 {
+            match jfs.mkdir(&format!("/d{i}")).and_then(|_| jfs.sync()) {
+                Ok(()) => {}
+                Err(FsError::ReadOnly) | Err(FsError::Io) => {
+                    hit_degraded = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(hit_degraded, "the mount never degraded");
+        assert!(jfs.health().is_degraded());
+        assert_eq!(jfs.mkdir("/more"), Err(FsError::ReadOnly));
+        assert_eq!(jfs.sync(), Err(FsError::Io));
+        assert!(jfs.readdir("/").is_ok(), "reads still serve from memory");
+        let report = jfs.health_report();
+        assert!(report.health.is_degraded());
+        assert_eq!(report.degraded_flips, 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@ use crate::device::DiskError;
 /// failure the policy charges `backoff_base << n` virtual ticks against
 /// `backoff_budget` and gives up once the budget is exceeded. No wall
 /// clock is involved anywhere.
+///
+/// With a non-zero `jitter_seed` each backoff wait gains a deterministic
+/// pseudo-random increment of up to half the exponential base, derived
+/// by splitmix64 from `(seed, attempt)`. Two policies carrying different
+/// seeds (e.g. [`reseeded`](RetryPolicy::reseeded) per shard) charge
+/// their budgets on desynchronized schedules — a correlated fault burst
+/// does not exhaust every shard's budget on the same attempt — while a
+/// given policy still produces the identical wait sequence on every run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum attempts per device operation (including the first).
@@ -28,19 +36,34 @@ pub struct RetryPolicy {
     pub backoff_base: u64,
     /// Total virtual ticks a single operation may spend backing off.
     pub backoff_budget: u64,
+    /// Seed for deterministic backoff jitter; 0 disables jitter and
+    /// reproduces the exact exponential waits.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
     /// Up to 6 attempts within a 1024-tick budget — rides out fault
     /// rates well past anything a real bus would survive, while still
-    /// giving up fast enough that tests exercise degraded mode.
+    /// giving up fast enough that tests exercise degraded mode. Jitter
+    /// is off by default.
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 6,
             backoff_base: 1,
             backoff_budget: 1 << 10,
+            jitter_seed: 0,
         }
     }
+}
+
+/// splitmix64: the one-shot mixer the fault plans use, here hashing
+/// (seed, attempt) into a jitter draw. Pure — no global RNG state, so
+/// the schedule is a function of the policy alone.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl RetryPolicy {
@@ -51,7 +74,38 @@ impl RetryPolicy {
             max_attempts: 1,
             backoff_base: 0,
             backoff_budget: 0,
+            jitter_seed: 0,
         }
+    }
+
+    /// Builder: enable deterministic backoff jitter under `seed`.
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Derive the policy a sub-unit (e.g. one shard) should run under:
+    /// same bounds, jitter seed remixed with `salt` so sibling units
+    /// back off on desynchronized schedules. Identity when jitter is
+    /// off — an unseeded policy stays exactly exponential everywhere.
+    pub fn reseeded(mut self, salt: u64) -> Self {
+        if self.jitter_seed != 0 {
+            // Feed the salt through the mixer (never yielding 0, which
+            // would silently turn jitter off for one unlucky salt).
+            self.jitter_seed = splitmix64(self.jitter_seed ^ salt) | 1;
+        }
+        self
+    }
+
+    /// Virtual ticks charged after the `attempt`-th failure (1-based):
+    /// the exponential base plus, when jitter is seeded, a deterministic
+    /// increment in `[0, base/2]` drawn from `(seed, attempt)`.
+    pub fn backoff_wait(&self, attempt: u32) -> u64 {
+        let base = self.backoff_base << (attempt.saturating_sub(1)).min(63);
+        if self.jitter_seed == 0 || base == 0 {
+            return base;
+        }
+        base + splitmix64(self.jitter_seed ^ u64::from(attempt)) % (base / 2 + 1)
     }
 
     /// Run `op`, retrying transient failures within the attempt and
@@ -73,7 +127,7 @@ impl RetryPolicy {
                     if !e.is_transient() || attempt >= self.max_attempts {
                         return Err(e);
                     }
-                    let wait = self.backoff_base << (attempt - 1).min(63);
+                    let wait = self.backoff_wait(attempt);
                     elapsed = elapsed.saturating_add(wait);
                     if elapsed > self.backoff_budget {
                         return Err(e);
@@ -162,7 +216,25 @@ pub struct RecoverySummary {
 }
 
 impl RecoverySummary {
-    /// Collapse an itemized skip list into per-class counts.
+    /// Build from the scrub's cap-independent census
+    /// ([`crate::journal::SkipTotals`]) — the preferred constructor:
+    /// unlike [`RecoverySummary::new`], the counts stay complete even
+    /// when the itemized list overflowed its budget.
+    pub fn from_totals(epoch: u64, ops_replayed: u64, totals: &crate::journal::SkipTotals) -> Self {
+        RecoverySummary {
+            epoch,
+            ops_replayed,
+            skipped_total: totals.total,
+            torn: totals.torn,
+            checksum_mismatch: totals.checksum_mismatch,
+            stale_epoch: totals.stale_epoch,
+            orphaned: totals.orphaned,
+            garbage: totals.garbage,
+        }
+    }
+
+    /// Collapse an itemized skip list into per-class counts. Undercounts
+    /// when the list was capped; prefer [`RecoverySummary::from_totals`].
     pub fn new(epoch: u64, ops_replayed: u64, skipped: &[crate::journal::SkippedRecord]) -> Self {
         use crate::journal::RecordClass;
         let mut s = RecoverySummary {
@@ -253,6 +325,7 @@ mod tests {
             max_attempts: 100,
             backoff_base: 1,
             backoff_budget: 4, // 1 + 2 = 3 ok, +4 = 7 > 4 → stop at 3 retries
+            jitter_seed: 0,
         };
         let mut calls = 0u32;
         let _ = policy.run(&c, || {
@@ -284,6 +357,41 @@ mod tests {
             Err::<(), _>(DiskError::Transient(DiskOp::Write))
         });
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn unseeded_backoff_is_exactly_exponential() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=6u32 {
+            assert_eq!(p.backoff_wait(attempt), 1u64 << (attempt - 1));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default().with_jitter(0xABCD);
+        let q = RetryPolicy::default().with_jitter(0xABCD);
+        for attempt in 1..=10u32 {
+            let base = 1u64 << (attempt - 1);
+            let w = p.backoff_wait(attempt);
+            assert_eq!(w, q.backoff_wait(attempt), "same seed, same schedule");
+            assert!(w >= base && w <= base + base / 2, "jitter stays in [0, base/2]");
+        }
+    }
+
+    #[test]
+    fn reseeded_policies_desynchronize() {
+        let base = RetryPolicy::default().with_jitter(7);
+        let a = base.reseeded(0);
+        let b = base.reseeded(1);
+        assert_ne!(a.jitter_seed, b.jitter_seed);
+        assert!(
+            (2..=10u32).any(|n| a.backoff_wait(n) != b.backoff_wait(n)),
+            "sibling schedules should diverge somewhere"
+        );
+        // Reseeding an unjittered policy is the identity: determinism of
+        // the exact exponential waits is preserved.
+        assert_eq!(RetryPolicy::default().reseeded(3), RetryPolicy::default());
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct Journal {
     pos: u64,
     /// Next record sequence number.
     seq: u64,
+    /// In-memory image of the sector `pos` points into, so appends never
+    /// read the device back. `None` until first touch when resuming an
+    /// existing log (the tail sector's earlier bytes live on the device).
+    tail: Option<Sector>,
     policy: RetryPolicy,
     counters: Arc<HealthCounters>,
 }
@@ -60,6 +64,7 @@ impl Journal {
             epoch,
             pos: 0,
             seq: 0,
+            tail: Some([0u8; SECTOR_SIZE]),
             policy,
             counters: Arc::new(HealthCounters::default()),
         }
@@ -73,6 +78,7 @@ impl Journal {
             epoch: recovered.epoch,
             pos: recovered.end_pos,
             seq: recovered.batches.len() as u64,
+            tail: None,
             policy: RetryPolicy::default(),
             counters: Arc::new(HealthCounters::default()),
         }
@@ -118,21 +124,37 @@ impl Journal {
     }
 
     fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), DiskError> {
+        // Work on a copy of the tail image: on error nothing advances
+        // (position, sequence, or cache), so a retried append re-runs
+        // from identical state.
+        let mut tail = self.tail;
         let mut written = 0usize;
         while written < bytes.len() {
             let lba = ((self.pos as usize + written) / SECTOR_SIZE) as u64;
             let off = (self.pos as usize + written) % SECTOR_SIZE;
             let chunk = (SECTOR_SIZE - off).min(bytes.len() - written);
             let disk = &*self.disk;
-            // Read-modify-write the sector (the tail sector is partial);
-            // each sector op individually rides out transient errors.
-            let mut sector: Sector = self.policy.run(&self.counters, || disk.read(lba))?;
+            let mut sector: Sector = if off == 0 {
+                // Fresh sector: bytes past the stream tail are zeros,
+                // which can never decode as a record.
+                [0u8; SECTOR_SIZE]
+            } else {
+                match tail {
+                    Some(s) => s,
+                    // Resuming an existing log: fetch the partial tail
+                    // sector once; every later append hits the cache.
+                    None => self.policy.run(&self.counters, || disk.read(lba))?,
+                }
+            };
             sector[off..off + chunk].copy_from_slice(&bytes[written..written + chunk]);
+            // Each sector write individually rides out transient errors.
             self.policy
                 .run(&self.counters, || disk.write(lba, &sector))?;
+            tail = Some(sector);
             written += chunk;
         }
         self.pos += bytes.len() as u64;
+        self.tail = tail;
         Ok(())
     }
 }
@@ -161,12 +183,60 @@ pub enum RecordClass {
 /// One record the recovery scrub skipped, with where and why.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SkippedRecord {
-    /// Byte offset of the record frame in the log stream.
+    /// Byte offset of the record frame in the log stream (relative to the
+    /// shard's region base for sharded logs).
     pub offset: u64,
     /// Why it was skipped.
     pub class: RecordClass,
     /// Frame length in bytes (0 when the frame could not be sized).
     pub len: usize,
+    /// Which shard's scrub reported it (always 0 for the single-stream
+    /// journal).
+    pub shard: u32,
+}
+
+/// Per-class totals of everything a scrub classified — including
+/// records past the itemization cap. The itemized [`SkippedRecord`]
+/// list is bounded evidence; these counters are the complete census, so
+/// a noisy region cannot silently undercount its damage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipTotals {
+    /// Everything the scrub refused.
+    pub total: u64,
+    /// Frame intact, tail zeroed (torn write).
+    pub torn: u64,
+    /// Frame intact, checksum mismatch (bit rot).
+    pub checksum_mismatch: u64,
+    /// Valid record of an older, overwritten generation.
+    pub stale_epoch: u64,
+    /// Valid current-generation record stranded past a hole.
+    pub orphaned: u64,
+    /// Unframeable bytes (the scan stops there).
+    pub garbage: u64,
+}
+
+impl SkipTotals {
+    /// Count one classified record.
+    pub fn count(&mut self, class: RecordClass) {
+        self.total += 1;
+        match class {
+            RecordClass::Torn => self.torn += 1,
+            RecordClass::ChecksumMismatch => self.checksum_mismatch += 1,
+            RecordClass::StaleEpoch => self.stale_epoch += 1,
+            RecordClass::Orphaned => self.orphaned += 1,
+            RecordClass::Garbage => self.garbage += 1,
+        }
+    }
+
+    /// Fold another census in (summing per-shard totals).
+    pub fn merge(&mut self, other: &SkipTotals) {
+        self.total += other.total;
+        self.torn += other.torn;
+        self.checksum_mismatch += other.checksum_mismatch;
+        self.stale_epoch += other.stale_epoch;
+        self.orphaned += other.orphaned;
+        self.garbage += other.garbage;
+    }
 }
 
 /// The result of scanning a disk.
@@ -180,8 +250,12 @@ pub struct Recovered {
     /// Byte offset just past the last valid record.
     pub end_pos: u64,
     /// Records past the valid prefix that the scrub classified and
-    /// skipped (empty when the log simply ends cleanly).
+    /// skipped (empty when the log simply ends cleanly). Itemization is
+    /// capped (see [`DEFAULT_MAX_SKIPPED`]); [`Recovered::skip_totals`]
+    /// keeps counting past the cap.
     pub skipped: Vec<SkippedRecord>,
+    /// Complete per-class census of the scrub, cap-independent.
+    pub skip_totals: SkipTotals,
 }
 
 impl Recovered {
@@ -202,11 +276,16 @@ impl Recovered {
 
 /// Largest payload a recovery scan will trust; garbage that happens to
 /// carry the magic bytes cannot make the scanner allocate unboundedly.
-const MAX_PAYLOAD: usize = 1 << 26;
+/// Shared with the sharded scanner in [`crate::recovery`].
+pub(crate) const MAX_PAYLOAD: usize = 1 << 26;
 
-/// Most records the scrub will classify past the valid prefix before
-/// giving up (a bounded report, not a full forensic pass).
-const MAX_SKIPPED: usize = 64;
+/// Default bound on how many records a scrub will classify past the
+/// valid prefix (a bounded report, not a full forensic pass). The limit
+/// is *per scanned stream*: every shard of a sharded log gets its own
+/// budget, so one noisy shard cannot evict another shard's skip
+/// evidence. Override per call with [`recover_with_limit`] or per shard
+/// via `ShardConfig::max_skipped`.
+pub const DEFAULT_MAX_SKIPPED: usize = 64;
 
 /// Header bytes: magic(4) + epoch(8) + seq(8) + payload_len(4).
 const HEADER: usize = 24;
@@ -227,6 +306,11 @@ fn ensure(disk: &Disk, bytes: &mut Vec<u8>, upto: usize) {
 /// session's fault plan died with the crash, while corruption that
 /// session left on the platter is exactly what the scrub reports.
 pub fn recover(disk: &Disk) -> Recovered {
+    recover_with_limit(disk, DEFAULT_MAX_SKIPPED)
+}
+
+/// [`recover`] with an explicit bound on scrub itemization.
+pub fn recover_with_limit(disk: &Disk, max_skipped: usize) -> Recovered {
     let mut bytes: Vec<u8> = Vec::new();
     let mut batches = Vec::new();
     let mut pos = 0usize;
@@ -262,24 +346,37 @@ pub fn recover(disk: &Disk) -> Recovered {
             _ => break,
         }
     }
-    let skipped = scrub(disk, &mut bytes, pos, log_epoch);
+    let (skipped, skip_totals) = scrub(disk, &mut bytes, pos, log_epoch, max_skipped);
     Recovered {
         epoch: log_epoch.unwrap_or(1),
         batches,
         end_pos: pos as u64,
         skipped,
+        skip_totals,
     }
 }
 
-/// Classify the records (if any) past the valid prefix at `pos`.
+/// Classify the records (if any) past the valid prefix at `pos`. The
+/// itemized list is capped at `max_skipped` entries, but classification
+/// continues to the end of the debris so the returned totals are a
+/// complete census (the walk is bounded by the log's own framing: it
+/// stops at zeroed space or the first unsizeable bytes).
 fn scrub(
     disk: &Disk,
     bytes: &mut Vec<u8>,
     mut pos: usize,
     log_epoch: Option<u64>,
-) -> Vec<SkippedRecord> {
+    max_skipped: usize,
+) -> (Vec<SkippedRecord>, SkipTotals) {
     let mut skipped = Vec::new();
-    while skipped.len() < MAX_SKIPPED {
+    let mut totals = SkipTotals::default();
+    let mut note = |rec: SkippedRecord, skipped: &mut Vec<SkippedRecord>| {
+        totals.count(rec.class);
+        if skipped.len() < max_skipped {
+            skipped.push(rec);
+        }
+    };
+    loop {
         ensure(disk, bytes, pos + HEADER);
         let header = &bytes[pos..pos + HEADER];
         if header.iter().all(|&b| b == 0) {
@@ -290,11 +387,15 @@ fn scrub(
         let payload_len = u32::from_le_bytes(header[HEADER - 4..].try_into().expect("4")) as usize;
         if magic != crate::wire::MAGIC || payload_len > MAX_PAYLOAD {
             // Not a frame: unsizeable, so the scrub cannot step past it.
-            skipped.push(SkippedRecord {
-                offset: pos as u64,
-                class: RecordClass::Garbage,
-                len: 0,
-            });
+            note(
+                SkippedRecord {
+                    offset: pos as u64,
+                    class: RecordClass::Garbage,
+                    len: 0,
+                    shard: 0,
+                },
+                &mut skipped,
+            );
             break;
         }
         let total = HEADER + payload_len + 8;
@@ -320,14 +421,18 @@ fn scrub(
                 }
             }
         };
-        skipped.push(SkippedRecord {
-            offset: pos as u64,
-            class,
-            len: total,
-        });
+        note(
+            SkippedRecord {
+                offset: pos as u64,
+                class,
+                len: total,
+                shard: 0,
+            },
+            &mut skipped,
+        );
         pos += total;
     }
-    skipped
+    (skipped, totals)
 }
 
 #[cfg(test)]
@@ -505,12 +610,43 @@ mod tests {
 
     #[test]
     fn scrub_is_bounded() {
-        let (disk, offsets) = committed_log(MAX_SKIPPED as u64 + 40);
+        let (disk, offsets) = committed_log(DEFAULT_MAX_SKIPPED as u64 + 40);
         // Corrupt record 0: everything after it is scrubbed, not replayed.
         disk.corrupt_durable(0, offsets[0] as usize + 30, 0x01);
         let r = recover(&disk);
         assert!(r.batches.is_empty());
-        assert_eq!(r.skipped.len(), MAX_SKIPPED);
+        assert_eq!(r.skipped.len(), DEFAULT_MAX_SKIPPED);
+        // The itemized list stops at the cap, but the census keeps
+        // counting to the end of the debris.
+        assert_eq!(r.skip_totals.total, DEFAULT_MAX_SKIPPED as u64 + 40);
+        assert_eq!(r.skip_totals.checksum_mismatch, 1, "the flipped record");
+        assert_eq!(
+            r.skip_totals.orphaned,
+            DEFAULT_MAX_SKIPPED as u64 + 39,
+            "everything stranded past it, including past the cap"
+        );
+        assert_eq!(
+            r.skip_totals.torn
+                + r.skip_totals.checksum_mismatch
+                + r.skip_totals.stale_epoch
+                + r.skip_totals.orphaned
+                + r.skip_totals.garbage,
+            r.skip_totals.total,
+            "per-class counts partition the total"
+        );
+    }
+
+    #[test]
+    fn scrub_limit_is_configurable() {
+        let (disk, offsets) = committed_log(30);
+        disk.corrupt_durable(0, offsets[0] as usize + 30, 0x01);
+        let r = recover_with_limit(&disk, 5);
+        assert!(r.batches.is_empty());
+        assert_eq!(r.skipped.len(), 5, "explicit limit bounds the itemization");
+        assert_eq!(r.skip_totals.total, 30, "the census ignores the cap");
+        let r = recover_with_limit(&disk, 1000);
+        assert_eq!(r.skipped.len(), 30, "a loose limit itemizes everything");
+        assert_eq!(r.skip_totals.total, 30, "census and itemization agree under the cap");
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //!   sink (every inode-granularity mutation is a log record, in global
 //!   mutation order), with `sync()` as the durability barrier and
 //!   recovery-as-checkpoint (log compaction);
+//! * [`shard`] / [`group_commit`] / [`recovery`] — a sharded journal:
+//!   N independent append streams (shard chosen by inode hash), each
+//!   with its own device region, sequence space, and retry/degrade
+//!   state, coordinated by epoch-based group commit. Cross-shard
+//!   renames emit a two-phase intent/seal record pair; recovery scans
+//!   shards in parallel, pairs intents with seals, and admits only the
+//!   contiguous global stamp prefix, so prefix-exactness survives
+//!   sharding;
 //! * [`faults::FaultyDisk`] — seeded, deterministic fault injection
 //!   behind the [`device::BlockDevice`] trait (transient errors,
 //!   permanent device failure, torn writes, bit rot), which the
@@ -36,14 +44,22 @@
 pub mod device;
 pub mod faults;
 pub mod fs;
+pub mod group_commit;
 pub mod health;
 pub mod journal;
 pub mod metrics;
+pub mod recovery;
+pub mod shard;
 pub mod wire;
 
 pub use device::{BlockDevice, Disk, DiskError, DiskOp};
 pub use faults::{FaultPlan, FaultStats, FaultyDisk};
-pub use fs::{materialize, JournalSink, JournaledFs, RecoveryStats};
+pub use fs::{materialize, mutations_of, JournalSink, JournaledFs, RecoveryStats};
+pub use group_commit::ShardedJournalSink;
 pub use health::{Health, HealthCounters, HealthReport, RecoverySummary, RetryPolicy};
-pub use metrics::register_journal_metrics;
-pub use journal::{recover, Journal, RecordClass, Recovered, SkippedRecord};
+pub use metrics::{register_journal_metrics, register_sharded_journal_metrics};
+pub use journal::{recover, Journal, RecordClass, Recovered, SkipTotals, SkippedRecord};
+pub use recovery::{
+    recover_sharded, recover_sharded_sequential, scan_shard, ShardScan, ShardedRecovered,
+};
+pub use shard::{shard_of, ShardConfig, ShardGauges, ShardReport, ShardWriter};

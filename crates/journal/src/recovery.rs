@@ -1,0 +1,720 @@
+//! Parallel recovery of the sharded journal.
+//!
+//! Each shard region is an independent append stream, so recovery scans
+//! them **in parallel** (one thread per shard) and then resolves the
+//! scans into one replayable history:
+//!
+//! 1. **Scan** ([`scan_shard`]): walk the shard's region from byte 0,
+//!    admitting checksummed frames with contiguous sequence numbers and
+//!    a single generation (the first frame fixes it). Past the valid
+//!    prefix, a scrub classifies what was left behind — same taxonomy
+//!    as the single-stream journal, budgeted *per shard*.
+//! 2. **Resolve** ([`resolve`]): the mount generation is the maximum
+//!    over shards (a shard whose newest frames are older was simply not
+//!    written since the last checkpoint — it contributes nothing).
+//!    Rename intents are admitted only when their seal is present with
+//!    the same transaction id and epoch ([`crlh::verify_pairing`]);
+//!    then every shard's stamped ops are k-way merged and truncated at
+//!    the first stamp gap ([`crlh::merge_stamped`]). A discarded
+//!    unsealed intent leaves exactly such a gap, so nothing after a
+//!    half-committed rename replays — prefix exactness at mutation
+//!    granularity, mount-wide.
+//!
+//! **Quarantine windows** relax the gap rule in exactly one, explicitly
+//! licensed way: when a shard was quarantined at run time, the commit
+//! that caught the failure wrote a `Quarantine` frame to every survivor
+//! recording the dead-shard mask and the half-open stamp windows that
+//! died in the discarded buffer. `resolve` unions those records from
+//! the clean prefixes and merges *around* the recorded windows
+//! ([`crlh::merge_stamped_with_windows`]) — healthy shards' later
+//! history replays instead of being truncated behind a loss the journal
+//! itself documented. Any gap **not** covered by a window truncates as
+//! before, so corruption can never widen what recovery may skip.
+//!
+//! [`recover_sharded_sequential`] performs the identical computation on
+//! one thread; the fault-storm suite pins the two to equal results on
+//! every seed.
+
+use atomfs_trace::MicroOp;
+
+use crate::device::{Disk, SECTOR_SIZE};
+use crate::journal::{RecordClass, SkipTotals, SkippedRecord, MAX_PAYLOAD};
+use crate::shard::ShardConfig;
+use crate::wire::{decode_frame, Frame, FrameKind, FRAME_HEADER, MAGIC2};
+
+/// Result of scanning one shard's region.
+#[derive(Debug)]
+pub struct ShardScan {
+    /// Shard index.
+    pub shard: usize,
+    /// Generation of the shard's valid frames (0 when it has none).
+    pub gen: u32,
+    /// The valid frame prefix, in append (sequence) order.
+    pub frames: Vec<Frame>,
+    /// Byte offset just past the last valid frame, relative to the
+    /// region base.
+    pub end_pos: u64,
+    /// Frames past the valid prefix, classified (per-shard budget).
+    /// Itemization is capped; `skip_totals` keeps counting past it.
+    pub skipped: Vec<SkippedRecord>,
+    /// Complete per-class census of this shard's scrub, cap-independent.
+    pub skip_totals: SkipTotals,
+}
+
+fn ensure(disk: &Disk, base_lba: u64, bytes: &mut Vec<u8>, upto: usize) {
+    while bytes.len() < upto {
+        let lba = base_lba + (bytes.len() / SECTOR_SIZE) as u64;
+        bytes.extend_from_slice(&disk.read(lba));
+    }
+}
+
+/// Scan shard `shard`'s region of `disk`. Reads the raw platter (a
+/// fresh power session — the old session's fault plan died with it).
+pub fn scan_shard(disk: &Disk, shard: usize, cfg: &ShardConfig) -> ShardScan {
+    let base_lba = cfg.region_base(shard);
+    let region_bytes = cfg.region_bytes() as usize;
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut pos = 0usize;
+    let mut gen: Option<u32> = None;
+    loop {
+        if pos + FRAME_HEADER > region_bytes {
+            break; // a frame can't start this close to the region end
+        }
+        ensure(disk, base_lba, &mut bytes, pos + FRAME_HEADER);
+        if bytes[pos..pos + 4] != MAGIC2.to_le_bytes() {
+            break;
+        }
+        let payload_len = u32::from_le_bytes(
+            bytes[pos + FRAME_HEADER - 4..pos + FRAME_HEADER]
+                .try_into()
+                .expect("4"),
+        ) as usize;
+        if payload_len > MAX_PAYLOAD {
+            break;
+        }
+        let total = FRAME_HEADER + payload_len + 8;
+        if pos + total > region_bytes {
+            break; // claims to extend past the region: not ours
+        }
+        ensure(disk, base_lba, &mut bytes, pos + total);
+        match decode_frame(&bytes[pos..pos + total]) {
+            Some((frame, len))
+                if len == total
+                    && frame.shard as usize == shard
+                    && frame.seq == frames.len() as u64
+                    && gen.map(|g| g == frame.gen).unwrap_or(true) =>
+            {
+                // The first frame fixes the generation; a frame of an
+                // older, overwritten generation ends the scan.
+                gen = Some(frame.gen);
+                frames.push(frame);
+                pos += total;
+            }
+            _ => break,
+        }
+    }
+    let (skipped, skip_totals) = scrub(
+        disk,
+        base_lba,
+        region_bytes,
+        &mut bytes,
+        pos,
+        gen,
+        shard,
+        cfg.max_skipped,
+    );
+    ShardScan {
+        shard,
+        gen: gen.unwrap_or(0),
+        frames,
+        end_pos: pos as u64,
+        skipped,
+        skip_totals,
+    }
+}
+
+/// Classify the frames (if any) past the valid prefix at `pos`, same
+/// taxonomy as the single-stream scrub. Itemization stops at the
+/// per-shard budget; classification runs to the end of the debris so
+/// the returned totals are a complete census.
+#[allow(clippy::too_many_arguments)]
+fn scrub(
+    disk: &Disk,
+    base_lba: u64,
+    region_bytes: usize,
+    bytes: &mut Vec<u8>,
+    mut pos: usize,
+    gen: Option<u32>,
+    shard: usize,
+    max_skipped: usize,
+) -> (Vec<SkippedRecord>, SkipTotals) {
+    let mut skipped = Vec::new();
+    let mut totals = SkipTotals::default();
+    let mut note = |rec: SkippedRecord, skipped: &mut Vec<SkippedRecord>| {
+        totals.count(rec.class);
+        if skipped.len() < max_skipped {
+            skipped.push(rec);
+        }
+    };
+    while pos + FRAME_HEADER <= region_bytes {
+        ensure(disk, base_lba, bytes, pos + FRAME_HEADER);
+        let header = &bytes[pos..pos + FRAME_HEADER];
+        if header.iter().all(|&b| b == 0) {
+            break; // never-written space: the clean end of the shard
+        }
+        let magic_ok = header[..4] == MAGIC2.to_le_bytes();
+        let payload_len = u32::from_le_bytes(
+            header[FRAME_HEADER - 4..FRAME_HEADER]
+                .try_into()
+                .expect("4"),
+        ) as usize;
+        let total = FRAME_HEADER + payload_len + 8;
+        if !magic_ok || payload_len > MAX_PAYLOAD || pos + total > region_bytes {
+            // Not a sizeable frame of this region: the scrub cannot
+            // step past it.
+            note(
+                SkippedRecord {
+                    offset: pos as u64,
+                    class: RecordClass::Garbage,
+                    len: 0,
+                    shard: shard as u32,
+                },
+                &mut skipped,
+            );
+            break;
+        }
+        ensure(disk, base_lba, bytes, pos + total);
+        let raw = &bytes[pos..pos + total];
+        let class = match decode_frame(raw) {
+            Some((frame, _)) if gen.map(|g| g != frame.gen).unwrap_or(false) => {
+                RecordClass::StaleEpoch
+            }
+            // Valid frame of this generation, but the history between
+            // the prefix and here has a hole (or it claims a foreign
+            // shard / broken sequence).
+            Some(_) => RecordClass::Orphaned,
+            None => {
+                if raw[total - 8..].iter().all(|&b| b == 0) {
+                    RecordClass::Torn
+                } else {
+                    RecordClass::ChecksumMismatch
+                }
+            }
+        };
+        note(
+            SkippedRecord {
+                offset: pos as u64,
+                class,
+                len: total,
+                shard: shard as u32,
+            },
+            &mut skipped,
+        );
+        pos += total;
+    }
+    (skipped, totals)
+}
+
+/// The resolved result of recovering a sharded log.
+#[derive(Debug)]
+pub struct ShardedRecovered {
+    /// The mount generation (max over shards; 1 for a blank disk).
+    pub gen: u32,
+    /// The admitted history: stamp-contiguous from 0, in stamp order.
+    pub ops: Vec<(u64, MicroOp)>,
+    /// First missing stamp when the merge hit a gap.
+    pub truncated_at: Option<u64>,
+    /// Ops present on disk but behind the gap (not replayed).
+    pub dropped_ops: usize,
+    /// Rename intent/seal matching outcome (unsealed intents are the
+    /// discarded two-phase renames).
+    pub pairing: crlh::PairingReport,
+    /// Highest epoch sealed on *every* current-generation shard (shards
+    /// the quarantine mask names are excluded — a dead shard stops
+    /// sealing without holding back the survivors' high-water mark).
+    pub sealed_epoch: u64,
+    /// Union of the dead-shard bitmasks from `Quarantine` frames in the
+    /// clean prefixes (0 when the run saw no quarantine).
+    pub quarantined_mask: u64,
+    /// Union of the recorded lost-stamp windows, sorted, coalesced,
+    /// half-open `[lo, hi)`.
+    pub lost_windows: Vec<(u64, u64)>,
+    /// Stamps the merge skipped under the windows' license: mutations
+    /// known lost with a quarantined shard.
+    pub lost_ops: usize,
+    /// Per-shard scans, index = shard.
+    pub scans: Vec<ShardScan>,
+}
+
+impl ShardedRecovered {
+    /// Transactions whose intent never found its seal.
+    pub fn unsealed_txns(&self) -> Vec<u64> {
+        self.pairing.unsealed.iter().map(|t| t.txn).collect()
+    }
+
+    /// Total valid log bytes across shards.
+    pub fn log_bytes(&self) -> u64 {
+        self.scans.iter().map(|s| s.end_pos).sum()
+    }
+
+    /// Every shard's skipped records, flattened (itemization is capped
+    /// per shard; [`ShardedRecovered::skip_totals`] is the full census).
+    pub fn skipped(&self) -> Vec<SkippedRecord> {
+        self.scans.iter().flat_map(|s| s.skipped.clone()).collect()
+    }
+
+    /// Complete per-class scrub census summed over shards — counts every
+    /// classified record even past the per-shard itemization cap.
+    pub fn skip_totals(&self) -> SkipTotals {
+        let mut totals = SkipTotals::default();
+        for scan in &self.scans {
+            totals.merge(&scan.skip_totals);
+        }
+        totals
+    }
+
+    /// Replay the admitted history into an abstract state.
+    pub fn replay(&self) -> Result<crlh::FsState, crlh::state::StateError> {
+        crlh::shardlog::replay(&self.ops)
+    }
+
+    /// Tolerant replay for histories with quarantine losses: ops
+    /// orphaned by a lost window (e.g. a link whose target's creation
+    /// died with the dead shard) are skipped and counted instead of
+    /// failing recovery. Returns the state and the skip count.
+    pub fn replay_tolerant(&self) -> (crlh::FsState, usize) {
+        crlh::shardlog::replay_tolerant(&self.ops)
+    }
+
+    /// Shards named dead by the recovered quarantine records.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        (0..self.scans.len())
+            .filter(|&i| self.quarantined_mask & (1u64 << i) != 0)
+            .collect()
+    }
+}
+
+/// Scan every shard **in parallel** (one thread each) and resolve.
+pub fn recover_sharded(disk: &Disk, cfg: &ShardConfig) -> ShardedRecovered {
+    let n = cfg.shard_count();
+    let mut scans: Vec<Option<ShardScan>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (i, slot) in scans.iter_mut().enumerate() {
+            s.spawn(move || {
+                *slot = Some(scan_shard(disk, i, cfg));
+            });
+        }
+    });
+    resolve(scans.into_iter().map(|s| s.expect("scan joined")).collect())
+}
+
+/// The same recovery on one thread — the equivalence oracle for the
+/// parallel path.
+pub fn recover_sharded_sequential(disk: &Disk, cfg: &ShardConfig) -> ShardedRecovered {
+    let scans = (0..cfg.shard_count())
+        .map(|i| scan_shard(disk, i, cfg))
+        .collect();
+    resolve(scans)
+}
+
+/// Combine per-shard scans into one replayable history. Deterministic:
+/// the parallel and sequential scanners feed it identical inputs.
+pub fn resolve(scans: Vec<ShardScan>) -> ShardedRecovered {
+    let gen = scans.iter().map(|s| s.gen).max().unwrap_or(0).max(1);
+    // Shards whose frames are all from an older generation were not
+    // written since the checkpoint that started `gen`: the checkpoint
+    // subsumed their content.
+    let current = |s: &&ShardScan| s.gen == gen;
+
+    // Pair rename intents with seals across all current shards.
+    let mut intents = Vec::new();
+    let mut seals = Vec::new();
+    for scan in scans.iter().filter(current) {
+        for f in &scan.frames {
+            match f.kind {
+                FrameKind::RenameIntent => intents.push(crlh::TxnRecord {
+                    txn: f.txn,
+                    epoch: f.epoch,
+                }),
+                FrameKind::RenameSeal => seals.push(crlh::TxnRecord {
+                    txn: f.txn,
+                    epoch: f.epoch,
+                }),
+                _ => {}
+            }
+        }
+    }
+    let pairing = crlh::verify_pairing(&intents, &seals);
+    let sealed: std::collections::HashSet<u64> = pairing.sealed.iter().copied().collect();
+
+    // Union the quarantine records in the clean prefixes: the dead-shard
+    // mask and the lost-stamp windows. Each frame carries the cumulative
+    // list as of its write, so the union over frames (and shards) is the
+    // complete loss record; coalescing keeps the window list canonical.
+    let mut quarantined_mask = 0u64;
+    let mut windows: Vec<(u64, u64)> = Vec::new();
+    for scan in scans.iter().filter(current) {
+        for f in &scan.frames {
+            if f.kind == FrameKind::Quarantine {
+                quarantined_mask |= f.txn;
+                windows.extend(f.windows.iter().copied());
+            }
+        }
+    }
+    windows.sort_unstable();
+    let mut coalesced: Vec<(u64, u64)> = Vec::with_capacity(windows.len());
+    for (lo, hi) in windows {
+        match coalesced.last_mut() {
+            Some((_, phi)) if lo <= *phi => *phi = (*phi).max(hi),
+            _ => coalesced.push((lo, hi)),
+        }
+    }
+    let windows = coalesced;
+
+    // Per-shard stamped streams: batches plus sealed intents. Seal-less
+    // intents are excluded — their ops are discarded — but they still
+    // truncate the history at their first stamp, which the merge alone
+    // only notices when something was stamped after them; record their
+    // stamps so the tail case reports its truncation too (unless every
+    // one of them is covered by a lost window, in which case the loss is
+    // already licensed and accounted).
+    let mut discarded_stamps: Vec<u64> = Vec::new();
+    let streams: Vec<Vec<(u64, MicroOp)>> = scans
+        .iter()
+        .filter(current)
+        .map(|scan| {
+            let mut ops = Vec::new();
+            for f in &scan.frames {
+                match f.kind {
+                    FrameKind::Batch => ops.extend(f.ops.iter().cloned()),
+                    FrameKind::RenameIntent if sealed.contains(&f.txn) => {
+                        ops.extend(f.ops.iter().cloned())
+                    }
+                    FrameKind::RenameIntent => {
+                        discarded_stamps.extend(f.ops.iter().map(|(s, _)| *s))
+                    }
+                    _ => {}
+                }
+            }
+            ops
+        })
+        .collect();
+    let mut merged = crlh::merge_stamped_with_windows(streams, &windows);
+    let in_window =
+        |s: u64| windows.iter().any(|&(lo, hi)| s >= lo && s < hi);
+    if merged.truncated_at.is_none() && discarded_stamps.iter().any(|&s| !in_window(s)) {
+        // The admitted prefix cannot extend past the discarded intent's
+        // first uncovered stamp; `next_stamp` is the first stamp the
+        // merge never saw, which is where that intent's gap begins.
+        merged.truncated_at = Some(merged.next_stamp);
+    }
+    merged.dropped += discarded_stamps.len();
+
+    // The mount's durable epoch high-water mark: the highest epoch every
+    // current *non-quarantined* shard has sealed (a dead shard stopped
+    // sealing at its quarantine and must not drag the mark back; if every
+    // current shard is masked, fall back to all of them).
+    let seal_max = |scan: &ShardScan| {
+        scan.frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::EpochSeal)
+            .map(|f| f.epoch)
+            .max()
+            .unwrap_or(0)
+    };
+    let masked = |s: &&ShardScan| quarantined_mask & (1u64 << s.shard) != 0;
+    let sealed_epoch = scans
+        .iter()
+        .filter(current)
+        .filter(|s| !masked(s))
+        .map(seal_max)
+        .min()
+        .or_else(|| scans.iter().filter(current).map(seal_max).min())
+        .unwrap_or(0);
+
+    ShardedRecovered {
+        gen,
+        ops: merged.ops,
+        truncated_at: merged.truncated_at,
+        dropped_ops: merged.dropped,
+        pairing,
+        sealed_epoch,
+        quarantined_mask,
+        lost_windows: windows,
+        lost_ops: merged.lost,
+        scans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BlockDevice;
+    use crate::shard::{ShardConfig, ShardWriter};
+    use atomfs_vfs::FileType;
+    use std::sync::Arc;
+
+    fn op(stamp: u64) -> (u64, MicroOp) {
+        (
+            stamp,
+            MicroOp::Create {
+                ino: 100 + stamp,
+                ftype: FileType::File,
+            },
+        )
+    }
+
+    fn writers(disk: &Arc<Disk>, cfg: &ShardConfig, gen: u32) -> Vec<ShardWriter> {
+        (0..cfg.shard_count())
+            .map(|i| ShardWriter::new(Arc::clone(disk) as Arc<dyn BlockDevice>, i, gen, cfg))
+            .collect()
+    }
+
+    #[test]
+    fn empty_disk_recovers_empty_at_gen_one() {
+        let disk = Disk::new();
+        let cfg = ShardConfig::default();
+        let r = recover_sharded(&disk, &cfg);
+        assert_eq!(r.gen, 1);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.truncated_at, None);
+        assert!(r.pairing.is_clean());
+        assert_eq!(r.scans.len(), 4);
+    }
+
+    #[test]
+    fn parallel_and_sequential_recovery_agree() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        // Spray ops across shards round-robin by stamp.
+        for s in 0..40u64 {
+            let shard = (s % 4) as usize;
+            ws[shard]
+                .append_frame(FrameKind::Batch, 1, 0, &[op(s)])
+                .unwrap();
+        }
+        Disk::flush(&disk);
+        let p = recover_sharded(&disk, &cfg);
+        let q = recover_sharded_sequential(&disk, &cfg);
+        assert_eq!(p.ops, q.ops);
+        assert_eq!(p.gen, q.gen);
+        assert_eq!(p.truncated_at, q.truncated_at);
+        assert_eq!(p.ops.len(), 40);
+    }
+
+    #[test]
+    fn stamp_gap_truncates_across_shards() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        ws[0].append_frame(FrameKind::Batch, 1, 0, &[op(0), op(1)]).unwrap();
+        // Stamp 2 never made it to shard 1; stamps 3..5 did land on shard 2.
+        ws[2].append_frame(FrameKind::Batch, 1, 0, &[op(3), op(4), op(5)]).unwrap();
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert_eq!(r.ops.len(), 2, "only the contiguous prefix replays");
+        assert_eq!(r.truncated_at, Some(2));
+        assert_eq!(r.dropped_ops, 3);
+    }
+
+    #[test]
+    fn unsealed_intent_is_discarded_and_truncates() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        ws[0].append_frame(FrameKind::Batch, 1, 0, &[op(0)]).unwrap();
+        // A rename intent (stamps 1,2) whose seal never became durable,
+        // then a later plain op (stamp 3).
+        ws[1].append_frame(FrameKind::RenameIntent, 1, 7, &[op(1), op(2)]).unwrap();
+        ws[0].append_frame(FrameKind::Batch, 1, 0, &[op(3)]).unwrap();
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert_eq!(r.unsealed_txns(), vec![7]);
+        assert_eq!(r.ops.len(), 1, "history stops before the broken rename");
+        assert_eq!(r.truncated_at, Some(1));
+    }
+
+    #[test]
+    fn sealed_intent_replays_with_seal_in_another_shard() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        ws[1].append_frame(FrameKind::RenameIntent, 1, 7, &[op(0), op(1)]).unwrap();
+        ws[3].append_frame(FrameKind::RenameSeal, 1, 7, &[]).unwrap();
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert!(r.pairing.is_clean());
+        assert_eq!(r.pairing.sealed, vec![7]);
+        assert_eq!(r.ops.len(), 2);
+    }
+
+    #[test]
+    fn epoch_mismatched_seal_does_not_admit_the_intent() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        ws[1].append_frame(FrameKind::RenameIntent, 1, 7, &[op(0)]).unwrap();
+        ws[3].append_frame(FrameKind::RenameSeal, 2, 7, &[]).unwrap();
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.pairing.epoch_mismatches.len(), 1);
+    }
+
+    #[test]
+    fn older_generation_shards_contribute_nothing() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        {
+            let mut ws = writers(&disk, &cfg, 1);
+            ws[3].append_frame(FrameKind::Batch, 1, 0, &[op(0)]).unwrap();
+        }
+        {
+            // Generation 2 checkpoint wrote shards 0..3 but never 3.
+            let mut ws = writers(&disk, &cfg, 2);
+            ws[0].append_frame(FrameKind::Batch, 1, 0, &[op(0)]).unwrap();
+            ws[1].append_frame(FrameKind::EpochSeal, 1, 0, &[]).unwrap();
+            ws[2].append_frame(FrameKind::EpochSeal, 1, 0, &[]).unwrap();
+        }
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert_eq!(r.gen, 2);
+        assert_eq!(r.ops.len(), 1, "gen-1 shard 3 is ignored");
+        assert_eq!(r.scans[3].gen, 1);
+    }
+
+    #[test]
+    fn torn_tail_is_classified_per_shard() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        ws[2].append_frame(FrameKind::Batch, 1, 0, &[op(0)]).unwrap();
+        let end = ws[2].position() as usize;
+        Disk::flush(&disk);
+        // Zero the trailing checksum of shard 2's only frame.
+        let base = cfg.region_base(2);
+        for byte in end - 8..end {
+            let lba = base + (byte / SECTOR_SIZE) as u64;
+            let cur = Disk::read(&disk, lba)[byte % SECTOR_SIZE];
+            disk.corrupt_durable(lba, byte % SECTOR_SIZE, cur);
+        }
+        let r = recover_sharded(&disk, &cfg);
+        assert!(r.ops.is_empty());
+        let skipped = r.skipped();
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].class, RecordClass::Torn);
+        assert_eq!(skipped[0].shard, 2, "attributed to the right shard");
+        assert_eq!(skipped[0].offset, 0, "offset is region-relative");
+    }
+
+    #[test]
+    fn per_shard_census_counts_past_the_itemization_cap() {
+        let disk = Arc::new(Disk::new());
+        let mut cfg = ShardConfig::default();
+        cfg.max_skipped = 4;
+        let mut ws = writers(&disk, &cfg, 1);
+        for s in 0..10u64 {
+            ws[1].append_frame(FrameKind::Batch, 1, 0, &[op(s)]).unwrap();
+        }
+        Disk::flush(&disk);
+        // Flip a payload bit in shard 1's first frame: the whole stream
+        // behind it scrubs — one checksum mismatch, nine orphans.
+        let byte = cfg.region_base(1) as usize * SECTOR_SIZE + FRAME_HEADER + 3;
+        disk.corrupt_durable((byte / SECTOR_SIZE) as u64, byte % SECTOR_SIZE, 0x01);
+        let r = recover_sharded(&disk, &cfg);
+        assert!(r.ops.is_empty());
+        assert_eq!(r.skipped().len(), 4, "itemization honors the budget");
+        let totals = r.skip_totals();
+        assert_eq!(totals.total, 10, "the census counts past the cap");
+        assert_eq!(totals.checksum_mismatch, 1);
+        assert_eq!(totals.orphaned, 9);
+    }
+
+    #[test]
+    fn quarantine_windows_let_survivors_replay_past_the_loss() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        // Shard 1 died holding stamps 2..4; the survivors hold the rest
+        // plus the Quarantine frame recording the loss.
+        ws[0].append_frame(FrameKind::Batch, 1, 0, &[op(0), op(1)]).unwrap();
+        ws[2].append_frame(FrameKind::Batch, 1, 0, &[op(4), op(5)]).unwrap();
+        ws[0].append_quarantine(1, 1 << 1, &[(2, 4)]).unwrap();
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        let stamps: Vec<u64> = r.ops.iter().map(|(s, _)| *s).collect();
+        assert_eq!(stamps, vec![0, 1, 4, 5], "merge steps over the recorded loss");
+        assert_eq!(r.truncated_at, None);
+        assert_eq!(r.lost_ops, 2);
+        assert_eq!(r.quarantined_shards(), vec![1]);
+        assert_eq!(r.lost_windows, vec![(2, 4)]);
+        // Parallel and sequential recovery agree on the degraded log too.
+        let q = recover_sharded_sequential(&disk, &cfg);
+        assert_eq!(r.ops, q.ops);
+        assert_eq!(r.quarantined_mask, q.quarantined_mask);
+    }
+
+    #[test]
+    fn unrecorded_gap_still_truncates_despite_a_quarantine() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        // The quarantine licenses skipping stamp 1 only; stamp 2 is
+        // missing without a record, so everything after it truncates.
+        ws[0].append_frame(FrameKind::Batch, 1, 0, &[op(0)]).unwrap();
+        ws[2].append_frame(FrameKind::Batch, 1, 0, &[op(3)]).unwrap();
+        ws[0].append_quarantine(1, 1 << 1, &[(1, 2)]).unwrap();
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(r.truncated_at, Some(2), "the uncovered stamp truncates");
+        assert_eq!(r.lost_ops, 1);
+    }
+
+    #[test]
+    fn quarantined_shard_does_not_drag_the_sealed_epoch_back() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        let mut ws = writers(&disk, &cfg, 1);
+        // Shard 1 sealed only epoch 1 before dying; shards 0 and 2 went
+        // on to seal epoch 3 and recorded the quarantine.
+        ws[1].append_frame(FrameKind::EpochSeal, 1, 0, &[]).unwrap();
+        for i in [0usize, 2] {
+            ws[i].append_frame(FrameKind::EpochSeal, 3, 0, &[]).unwrap();
+            ws[i].append_quarantine(3, 1 << 1, &[]).unwrap();
+        }
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert_eq!(r.sealed_epoch, 3, "the dead shard is excluded from the min");
+        assert_eq!(r.quarantined_shards(), vec![1]);
+    }
+
+    #[test]
+    fn foreign_shard_frame_stops_the_scan() {
+        let disk = Arc::new(Disk::new());
+        let cfg = ShardConfig::default();
+        // A frame stamped shard=1 sitting in shard 0's region (e.g. a
+        // firmware misdirected write): the scan must not admit it.
+        let frame = crate::wire::encode_frame(&Frame {
+            gen: 1,
+            shard: 1,
+            kind: FrameKind::Batch,
+            epoch: 1,
+            seq: 0,
+            txn: 0,
+            ops: vec![op(0)],
+            windows: Vec::new(),
+        });
+        let mut sector = [0u8; SECTOR_SIZE];
+        sector[..frame.len()].copy_from_slice(&frame);
+        Disk::write(&disk, cfg.region_base(0), &sector);
+        Disk::flush(&disk);
+        let r = recover_sharded(&disk, &cfg);
+        assert!(r.ops.is_empty());
+        let skipped = r.skipped();
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].class, RecordClass::Orphaned);
+    }
+}

@@ -249,6 +249,101 @@ fn recovered_fs_passes_the_linearizability_checker() {
     assert_eq!(fs.readdir("/base").unwrap().len(), 1 + 200);
 }
 
+/// A cross-shard rename writes its intent record to the source parent's
+/// shard and its seal to the destination parent's shard. A crash that
+/// persists the intent but loses the seal must make recovery discard the
+/// rename (and everything stamped after it) — while the complementary
+/// crash that persists both replays it. This is the two-phase record's
+/// whole point: a half-present rename can never replay.
+#[test]
+fn crash_between_rename_intent_and_seal_discards_the_rename() {
+    use atomfs_journal::{FaultPlan, FaultyDisk, ShardConfig};
+
+    // One deterministic run of the workload; `keep_seal` decides whether
+    // the destination shard's queued writes survive the crash.
+    let run = |keep_seal: bool| {
+        let cfg = ShardConfig::with_shards(4);
+        let disk = Arc::new(Disk::new());
+        // Flushes always fail: every frame write stays queued volatile,
+        // the sync degrades the mount, and nothing is ever acked — so
+        // the crash below gets to choose what persisted.
+        let dev = Arc::new(FaultyDisk::new(
+            Arc::clone(&disk),
+            FaultPlan::none(1).with_transient(0, 0, 65_536),
+        ));
+        let recorder = Arc::new(BufferSink::new());
+        let jfs = JournaledFs::create_sharded_observed(
+            dev,
+            cfg,
+            Arc::clone(&recorder) as Arc<dyn TraceSink>,
+        );
+        let sink = Arc::clone(jfs.sharded_sink().expect("sharded mount"));
+        for i in 0..8 {
+            jfs.mkdir(&format!("/d{i}")).unwrap();
+        }
+        jfs.mknod("/d0/f").unwrap();
+        jfs.write("/d0/f", 0, b"payload").unwrap();
+        let shard = |path: &str| sink.shard_of_ino(jfs.stat(path).unwrap().ino);
+        let src_shard = shard("/d0");
+        let file_shard = shard("/d0/f");
+        let root_shard = sink.shard_of_ino(atomfs_trace::ROOT_INUM);
+        // Pick a destination dir whose shard holds no record we need to
+        // keep: dropping its region loses exactly the rename's seal (and
+        // that shard's EpochSeal).
+        let dst = (1..8)
+            .find(|i| {
+                let s = shard(&format!("/d{i}"));
+                s != src_shard && s != file_shard && s != root_shard
+            })
+            .expect("8 dirs over 4 shards leave a seal-only shard");
+        let dst_dir = format!("/d{dst}");
+        let seal_shard = shard(&dst_dir);
+        jfs.rename("/d0/f", &format!("{dst_dir}/g")).unwrap();
+        // The commit appends the epoch's frames — intent to the source
+        // shard, seal to the destination shard — then fails the flush.
+        assert!(jfs.sync().is_err(), "flush cannot succeed under this plan");
+        let muts = atomfs_journal::mutations_of(&recorder.snapshot());
+        drop(jfs);
+        let (lo, hi) = (cfg.region_base(seal_shard), cfg.region_base(seal_shard + 1));
+        disk.crash_keep_lbas(|lba| keep_seal || !(lo..hi).contains(&lba));
+        (disk, cfg, muts, dst_dir)
+    };
+
+    // Case A — the seal is lost: recovery sees a seal-less intent,
+    // discards the rename, and replays exactly the prefix before it (a
+    // file rename with no destination victim is two micro-ops).
+    let (disk, cfg, muts, dst_dir) = run(false);
+    let raw = atomfs_journal::recover_sharded(&disk, &cfg);
+    assert!(!raw.pairing.unsealed.is_empty(), "the intent must be seal-less");
+    assert!(raw.truncated_at.is_some(), "the unsealed intent truncates");
+    let (recovered, stats) = JournaledFs::recover_sharded(Arc::clone(&disk), cfg).unwrap();
+    assert_eq!(stats.ops_replayed, muts.len() - 2);
+    assert!(fs_matches_state(
+        &recovered,
+        &prefix_states(&muts)[stats.ops_replayed]
+    ));
+    let mut buf = [0u8; 7];
+    recovered.read("/d0/f", 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"payload", "the un-renamed file keeps its content");
+    assert!(recovered.stat(&format!("{dst_dir}/g")).is_err());
+
+    // Case B — both records persist: the pair is whole and the rename
+    // replays in full.
+    let (disk, cfg, muts, dst_dir) = run(true);
+    let raw = atomfs_journal::recover_sharded(&disk, &cfg);
+    assert!(raw.pairing.unsealed.is_empty());
+    assert!(!raw.pairing.sealed.is_empty(), "the pair is recognized");
+    let (recovered, stats) = JournaledFs::recover_sharded(Arc::clone(&disk), cfg).unwrap();
+    assert_eq!(stats.ops_replayed, muts.len());
+    assert!(fs_matches_state(&recovered, &prefix_states(&muts)[muts.len()]));
+    assert!(recovered.stat("/d0/f").is_err());
+    let mut buf = [0u8; 7];
+    recovered
+        .read(&format!("{dst_dir}/g"), 0, &mut buf)
+        .unwrap();
+    assert_eq!(&buf, b"payload");
+}
+
 /// Recovering a pathologically deep directory chain must not overflow
 /// the stack: `materialize` walks the recovered tree with an explicit
 /// worklist, so it runs in constant stack regardless of depth.

@@ -9,10 +9,16 @@
 //!
 //! `FAULT_STORM_SEED=<n>` pins the run to a single seed (the CI fault-
 //! storm matrix fans one job out per seed); unset, a fixed sweep runs.
+//! `FAULT_STORM_LAYOUT=sharded` re-runs the storm suite against the
+//! sharded journal layout (epoch group commit, default shard count)
+//! instead of the single-stream journal.
 
 use std::sync::Arc;
 
-use atomfs_journal::{Disk, FaultPlan, FaultyDisk, Health, JournaledFs, RetryPolicy};
+use atomfs_journal::{
+    BlockDevice, Disk, FaultPlan, FaultyDisk, Health, JournaledFs, RecoveryStats, RetryPolicy,
+    ShardConfig,
+};
 use atomfs_trace::{BufferSink, Event, MicroOp, TraceSink};
 use atomfs_vfs::{FileSystem, FsError};
 use crlh::FsState;
@@ -23,6 +29,28 @@ fn seeds() -> Vec<u64> {
     match std::env::var("FAULT_STORM_SEED") {
         Ok(s) => vec![s.parse().expect("FAULT_STORM_SEED must be a u64")],
         Err(_) => (0..8).collect(),
+    }
+}
+
+fn layout_sharded() -> bool {
+    std::env::var("FAULT_STORM_LAYOUT").map_or(false, |v| v == "sharded")
+}
+
+/// Mount per the selected layout, with `observer` watching the stream.
+fn mount_observed(dev: Arc<dyn BlockDevice>, observer: Arc<dyn TraceSink>) -> JournaledFs {
+    if layout_sharded() {
+        JournaledFs::create_sharded_observed(dev, ShardConfig::default(), observer)
+    } else {
+        JournaledFs::create_observed(dev, RetryPolicy::default(), observer)
+    }
+}
+
+/// Recover per the selected layout.
+fn remount(disk: Arc<Disk>) -> (JournaledFs, RecoveryStats) {
+    if layout_sharded() {
+        JournaledFs::recover_sharded(disk, ShardConfig::default()).expect("recovery never fails")
+    } else {
+        JournaledFs::recover(disk).expect("recovery never fails")
     }
 }
 
@@ -87,13 +115,24 @@ fn mutations(recorder: &BufferSink) -> Vec<MicroOp> {
 struct StormOutcome {
     /// Mutation count at the last `sync()` that returned `Ok` (acked).
     acked: Option<usize>,
-    /// Whether the mount degraded during the run.
+    /// Whether the run was impaired: mount degraded, or (sharded layout)
+    /// at least one shard quarantined while the mount stayed writable.
     degraded: bool,
 }
 
+/// Whether storage has lawfully impaired this mount: whole-mount
+/// degradation, or — sharded layout only — a quarantined shard whose
+/// inode range refuses mutations while the mount stays healthy.
+fn impaired(jfs: &JournaledFs) -> bool {
+    jfs.health().is_degraded()
+        || jfs
+            .sharded_sink()
+            .is_some_and(|s| s.quarantine_count() > 0)
+}
+
 /// Drive a random workload, asserting the degraded-mode invariants as
-/// they become observable: errors only with degraded health, degradation
-/// sticky, reads always served.
+/// they become observable: errors only when degraded or quarantined,
+/// impairment sticky, reads always served.
 fn drive(jfs: &JournaledFs, recorder: &BufferSink, rng: &mut StdRng, ops: usize) -> StormOutcome {
     let mut acked = None;
     let mut degraded = false;
@@ -123,8 +162,8 @@ fn drive(jfs: &JournaledFs, recorder: &BufferSink, rng: &mut StdRng, ops: usize)
             }
             Err(FsError::ReadOnly) | Err(FsError::Io) => {
                 assert!(
-                    jfs.health().is_degraded(),
-                    "op {i}: EROFS/EIO from a mount whose health says Healthy"
+                    impaired(jfs),
+                    "op {i}: EROFS/EIO with Healthy health and no quarantined shard"
                 );
                 degraded = true;
             }
@@ -133,11 +172,8 @@ fn drive(jfs: &JournaledFs, recorder: &BufferSink, rng: &mut StdRng, ops: usize)
             Err(_) => {}
         }
         if degraded {
-            assert!(
-                jfs.health().is_degraded(),
-                "op {i}: degradation must be sticky"
-            );
-            assert!(jfs.readdir("/").is_ok(), "op {i}: degraded reads must work");
+            assert!(impaired(jfs), "op {i}: impairment must be sticky");
+            assert!(jfs.readdir("/").is_ok(), "op {i}: impaired reads must work");
         }
     }
     StormOutcome { acked, degraded }
@@ -150,15 +186,14 @@ fn fault_storm_every_schedule_terminates_in_a_lawful_state() {
         let disk = Arc::new(Disk::new());
         let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
         let recorder = Arc::new(BufferSink::new());
-        let jfs = JournaledFs::create_observed(
-            dev,
-            RetryPolicy::default(),
-            Arc::clone(&recorder) as Arc<dyn TraceSink>,
-        );
+        let jfs = mount_observed(dev, Arc::clone(&recorder) as Arc<dyn TraceSink>);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
         let out = drive(&jfs, &recorder, &mut rng, 160);
         if let Health::Healthy = jfs.health() {
-            assert!(!out.degraded, "seed {seed}: health lost the degradation");
+            assert!(
+                !out.degraded || impaired(&jfs),
+                "seed {seed}: health lost the degradation"
+            );
         }
         // Read-only gating stops every op that has not yet started, so a
         // healthy run drops nothing, and a degraded run can drop at most
@@ -180,8 +215,7 @@ fn fault_storm_every_schedule_terminates_in_a_lawful_state() {
         let keep_mod = 2 + (seed % 4);
         disk.crash(|i| (i as u64) % keep_mod == 0);
 
-        let (recovered, stats) =
-            JournaledFs::recover(Arc::clone(&disk)).expect("recovery never fails");
+        let (recovered, stats) = remount(Arc::clone(&disk));
         let k = stats.ops_replayed;
         assert!(k <= muts.len(), "seed {seed}: replayed invented history");
         let states = prefix_states(&muts);
@@ -214,11 +248,7 @@ fn transient_only_schedules_stay_healthy_and_lose_nothing() {
         let disk = Arc::new(Disk::new());
         let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
         let recorder = Arc::new(BufferSink::new());
-        let jfs = JournaledFs::create_observed(
-            dev,
-            RetryPolicy::default(),
-            Arc::clone(&recorder) as Arc<dyn TraceSink>,
-        );
+        let jfs = mount_observed(dev, Arc::clone(&recorder) as Arc<dyn TraceSink>);
         let mut rng = StdRng::seed_from_u64(seed);
         let out = drive(&jfs, &recorder, &mut rng, 120);
         assert!(
@@ -229,14 +259,17 @@ fn transient_only_schedules_stay_healthy_and_lose_nothing() {
         let muts = mutations(&recorder);
         drop(jfs);
         disk.crash(|_| false);
-        let (recovered, stats) = JournaledFs::recover(Arc::clone(&disk)).unwrap();
+        let (recovered, stats) = remount(Arc::clone(&disk));
         let k = stats.ops_replayed;
         assert!(fs_matches_state(&recovered, &prefix_states(&muts)[k]));
         if let Some(acked) = out.acked {
             assert!(k >= acked, "seed {seed}: lost acked data under transients");
         }
+        // Skip offsets are absolute in the single-stream log but
+        // region-relative in the sharded layout, so the containment
+        // check only types against the former.
         assert!(
-            stats.skipped.iter().all(|s| s.offset >= stats.log_bytes),
+            layout_sharded() || stats.skipped.iter().all(|s| s.offset >= stats.log_bytes),
             "seed {seed}: a skipped record inside the replayed prefix"
         );
     }
@@ -249,17 +282,13 @@ fn bit_flip_storms_recover_to_an_itemized_prefix() {
         let disk = Arc::new(Disk::new());
         let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
         let recorder = Arc::new(BufferSink::new());
-        let jfs = JournaledFs::create_observed(
-            dev,
-            RetryPolicy::default(),
-            Arc::clone(&recorder) as Arc<dyn TraceSink>,
-        );
+        let jfs = mount_observed(dev, Arc::clone(&recorder) as Arc<dyn TraceSink>);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
         let out = drive(&jfs, &recorder, &mut rng, 120);
         let muts = mutations(&recorder);
         drop(jfs);
         disk.crash(|_| false);
-        let (recovered, stats) = JournaledFs::recover(Arc::clone(&disk)).unwrap();
+        let (recovered, stats) = remount(Arc::clone(&disk));
         let k = stats.ops_replayed;
         // Always prefix-exact, even when rot ate acked records...
         assert!(
@@ -290,11 +319,7 @@ fn checker_accepts_the_trace_of_degraded_runs() {
             relation: RelationCadence::AtUnlock,
             invariants: true,
         }));
-        let jfs = JournaledFs::create_observed(
-            dev,
-            RetryPolicy::default(),
-            Arc::clone(&checker) as Arc<dyn TraceSink>,
-        );
+        let jfs = mount_observed(dev, Arc::clone(&checker) as Arc<dyn TraceSink>);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut degraded = false;
         for i in 0..200 {
@@ -316,5 +341,252 @@ fn checker_accepts_the_trace_of_degraded_runs() {
         // AtomFS, so no half-performed op ever reaches the stream.
         let report = Arc::into_inner(checker).expect("sole owner").finish();
         report.assert_ok();
+    }
+}
+
+/// The sharded layout under full storms: every seed recovers to an exact
+/// prefix of the recorded mutation history, and parallel recovery is
+/// indistinguishable from the sequential one on the same platter.
+#[test]
+fn sharded_storms_recover_prefix_exact_and_parallel_equals_sequential() {
+    for seed in seeds() {
+        let cfg = ShardConfig::default();
+        let plan = FaultPlan::storm(seed);
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
+        let recorder = Arc::new(BufferSink::new());
+        let jfs =
+            JournaledFs::create_sharded_observed(dev, cfg, Arc::clone(&recorder) as Arc<dyn TraceSink>);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A4D);
+        let out = drive(&jfs, &recorder, &mut rng, 160);
+        let muts = mutations(&recorder);
+        drop(jfs);
+
+        let keep_mod = 2 + (seed % 4);
+        disk.crash(|i| (i as u64) % keep_mod == 0);
+
+        // Parallel and sequential shard scans resolve identically.
+        let par = atomfs_journal::recover_sharded(&disk, &cfg);
+        let seq = atomfs_journal::recover_sharded_sequential(&disk, &cfg);
+        assert_eq!(par.gen, seq.gen, "seed {seed}: generations diverge");
+        assert_eq!(par.ops, seq.ops, "seed {seed}: replayed streams diverge");
+        assert_eq!(
+            par.sealed_epoch, seq.sealed_epoch,
+            "seed {seed}: sealed-epoch HWMs diverge"
+        );
+
+        let (recovered, stats) =
+            JournaledFs::recover_sharded(Arc::clone(&disk), cfg).expect("recovery never fails");
+        let k = stats.ops_replayed;
+        assert!(k <= muts.len(), "seed {seed}: replayed invented history");
+        assert!(
+            fs_matches_state(&recovered, &prefix_states(&muts)[k]),
+            "seed {seed}: sharded recovery is not the {k}-mutation prefix of {}",
+            muts.len()
+        );
+        if !plan.corrupts_silently() {
+            if let Some(acked) = out.acked {
+                assert!(
+                    k >= acked,
+                    "seed {seed}: lost an acked epoch (prefix {k} < acked {acked})"
+                );
+            }
+        }
+        recovered.mkdir("/post-recovery").unwrap();
+        recovered.sync().unwrap();
+    }
+}
+
+/// Shard-asymmetric failure: exactly one shard's device region dies
+/// mid-run. The mount must **not** degrade — the dead shard is
+/// quarantined, its inode range refuses mutations, sibling shards stay
+/// fault-free and writable — and recovery must replay the surviving
+/// history around exactly the quarantine-recorded loss windows.
+#[test]
+fn one_dead_shard_quarantines_only_its_inode_range() {
+    for seed in seeds() {
+        let cfg = ShardConfig::with_shards(4);
+        let shards = cfg.shard_count();
+        // Keep the root's shard alive so path operations (which route by
+        // the parent directory) can still demonstrate a writable mount.
+        let root_shard = atomfs_journal::shard_of(atomfs_trace::ROOT_INUM, shards);
+        let victim = (root_shard + 1 + (seed as usize % (shards - 1))) % shards;
+        let plan = FaultPlan::none(seed)
+            .with_permanent_failure_after(2 + seed % 3)
+            .with_region(cfg.region_base(victim), cfg.region_base(victim + 1));
+        let disk = Arc::new(Disk::new());
+        let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
+        let recorder = Arc::new(BufferSink::new());
+        let jfs =
+            JournaledFs::create_sharded_observed(dev, cfg, Arc::clone(&recorder) as Arc<dyn TraceSink>);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let out = drive(&jfs, &recorder, &mut rng, 200);
+        assert!(out.degraded, "seed {seed}: the dead region was never hit");
+        // Partial degradation: the mount survives with one shard dark.
+        assert_eq!(
+            jfs.health(),
+            Health::Healthy,
+            "seed {seed}: one dead shard must not degrade the whole mount"
+        );
+        let sink = jfs.sharded_sink().expect("sharded mount");
+        assert_eq!(
+            sink.quarantined_shards(),
+            vec![victim],
+            "seed {seed}: exactly the victim shard is quarantined"
+        );
+        let reports = sink.shard_reports();
+        assert!(reports[victim].dead, "seed {seed}: victim not marked dead");
+        for (i, r) in reports.iter().enumerate() {
+            if i != victim {
+                assert!(!r.dead, "seed {seed}: healthy shard {i} marked dead");
+                assert_eq!(r.faults, 0, "seed {seed}: faults leaked to shard {i}");
+            }
+        }
+        // Live ranges keep accepting and acking mutations.
+        jfs.mkdir(&format!("/alive-{seed}")).unwrap();
+        jfs.sync().unwrap();
+        let muts = mutations(&recorder);
+        drop(jfs);
+        disk.crash(|i| (i as u64) % 3 != 1);
+
+        let par = atomfs_journal::recover_sharded(&disk, &cfg);
+        let seq = atomfs_journal::recover_sharded_sequential(&disk, &cfg);
+        assert_eq!(par.ops, seq.ops, "seed {seed}: parallel != sequential");
+        assert_eq!(
+            par.quarantined_mask, seq.quarantined_mask,
+            "seed {seed}: quarantine records diverge"
+        );
+        assert_eq!(
+            par.quarantined_shards(),
+            vec![victim],
+            "seed {seed}: recovery must surface the quarantine"
+        );
+
+        // Exact oracle: the workload is single-threaded, so the n-th
+        // recorded mutation carries stamp n. Recovery never invents
+        // history (every admitted stamp matches the recorded stream) and
+        // never silently drops it (every stamp below the truncation bound
+        // that no recorded loss window covers must be admitted). Window
+        // stamps themselves MAY still appear: a failed slice can be
+        // partially durable, and windows only license skipping stamps
+        // recovery cannot find — they never suppress found ones.
+        let bound = par.truncated_at.unwrap_or(u64::MAX);
+        let in_window = |s: u64| par.lost_windows.iter().any(|&(lo, hi)| s >= lo && s < hi);
+        for (s, m) in &par.ops {
+            assert_eq!(
+                muts.get(*s as usize),
+                Some(m),
+                "seed {seed}: stamp {s} replays something never recorded"
+            );
+        }
+        let present: std::collections::HashSet<u64> = par.ops.iter().map(|(s, _)| *s).collect();
+        for s in 0..muts.len() as u64 {
+            if s < bound && !in_window(s) {
+                assert!(
+                    present.contains(&s),
+                    "seed {seed}: stamp {s} lost without a licensing window or truncation"
+                );
+            }
+        }
+
+        let (recovered, stats) =
+            JournaledFs::recover_sharded(Arc::clone(&disk), cfg).expect("recovery never fails");
+        assert_eq!(stats.lost_ops, par.lost_ops, "seed {seed}: loss accounting diverges");
+        let (expected_state, _) = crlh::shardlog::replay_tolerant(&par.ops);
+        assert!(
+            fs_matches_state(&recovered, &expected_state),
+            "seed {seed}: recovered tree must be the tolerant replay of the admitted history"
+        );
+        recovered.mkdir("/post-recovery").unwrap();
+        recovered.sync().unwrap();
+    }
+}
+
+/// Cross-shard rename atomicity under fault × crash schedules: for every
+/// seeded fault plan and every crash subset, each renamed file recovers
+/// either fully at its destination or fully at its source — never in
+/// both places, and never half-moved (the truncation boundary may not
+/// split an intent's `Del`/`Ins` pair).
+#[test]
+fn cross_shard_renames_are_atomic_across_fault_and_crash_schedules() {
+    const FILES: usize = 12;
+    for seed in seeds() {
+        for keep_mod in [2u64, 3, 5] {
+            let cfg = ShardConfig::default();
+            // Transients exercise the retry path; torn writes can eat an
+            // intent or seal frame, which is exactly the schedule that
+            // must discard — not dangle — the rename.
+            let plan = FaultPlan::none(seed ^ (keep_mod << 32))
+                .with_transient(2_000, 2_000, 2_000)
+                .with_torn_writes(1_500);
+            let disk = Arc::new(Disk::new());
+            let dev = Arc::new(FaultyDisk::new(Arc::clone(&disk), plan));
+            let recorder = Arc::new(BufferSink::new());
+            let jfs = JournaledFs::create_sharded_observed(
+                dev,
+                cfg,
+                Arc::clone(&recorder) as Arc<dyn TraceSink>,
+            );
+            jfs.mkdir("/a").unwrap();
+            jfs.mkdir("/b").unwrap();
+            for i in 0..FILES {
+                jfs.mknod(&format!("/a/f{i}")).unwrap();
+                jfs.write(&format!("/a/f{i}"), 0, &[i as u8; 24]).unwrap();
+            }
+            let _ = jfs.sync();
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(keep_mod));
+            for i in 0..FILES {
+                let _ = jfs.rename(&format!("/a/f{i}"), &format!("/b/g{i}"));
+                if rng.random_range(0..3) == 0 {
+                    let _ = jfs.sync();
+                }
+            }
+            let muts = mutations(&recorder);
+            drop(jfs);
+            disk.crash(|i| (i as u64) % keep_mod == 0);
+
+            let par = atomfs_journal::recover_sharded(&disk, &cfg);
+            let seq = atomfs_journal::recover_sharded_sequential(&disk, &cfg);
+            assert_eq!(
+                par.ops, seq.ops,
+                "seed {seed} keep {keep_mod}: parallel != sequential"
+            );
+
+            let (recovered, stats) = JournaledFs::recover_sharded(Arc::clone(&disk), cfg)
+                .expect("recovery never fails");
+            let k = stats.ops_replayed;
+            assert!(
+                fs_matches_state(&recovered, &prefix_states(&muts)[k]),
+                "seed {seed} keep {keep_mod}: recovery must land on an exact prefix"
+            );
+            // The boundary never splits a rename: a rename records its
+            // Del and Ins adjacently (same child), and intent framing
+            // admits or discards them together.
+            for i in 0..muts.len().saturating_sub(1) {
+                if let (MicroOp::Del { child: c, .. }, MicroOp::Ins { child: c2, .. }) =
+                    (&muts[i], &muts[i + 1])
+                {
+                    if c == c2 {
+                        assert_ne!(
+                            k,
+                            i + 1,
+                            "seed {seed} keep {keep_mod}: prefix ends between a rename's Del and Ins"
+                        );
+                    }
+                }
+            }
+            // Every file is in at most one place — never both (a file in
+            // neither place means its very creation fell past the
+            // truncation or a torn write ate it, which the prefix check
+            // above already validated).
+            for i in 0..FILES {
+                let at_src = recovered.stat(&format!("/a/f{i}")).is_ok();
+                let at_dst = recovered.stat(&format!("/b/g{i}")).is_ok();
+                assert!(
+                    !(at_src && at_dst),
+                    "seed {seed} keep {keep_mod}: file {i} dangles in both places"
+                );
+            }
+        }
     }
 }

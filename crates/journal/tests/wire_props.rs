@@ -1,10 +1,14 @@
-//! Property-based tests on the journal's wire format: `decode_record`
-//! fed arbitrary bytes, truncations, and bit-flipped encodings of valid
-//! records must never panic and never return a record that differs from
-//! the one encoded — the checksum (plus the clamped length/count fields)
-//! catches every corruption the fault layer can inject.
+//! Property-based tests on the journal's wire formats: `decode_record`
+//! (v1 single-stream) and `decode_frame` (v2 sharded) fed arbitrary
+//! bytes, truncations, and bit-flipped encodings of valid records must
+//! never panic and never return a record that differs from the one
+//! encoded — the checksum (plus the clamped length/count fields) catches
+//! every corruption the fault layer can inject. For v2 the stakes are
+//! higher: a forged `RenameIntent`/`RenameSeal` with a different
+//! `(txn, epoch)` could pair with the wrong transaction at recovery, so
+//! the frame properties assert corruption can never *re-pair*.
 
-use atomfs_journal::wire::{decode_record, encode_record};
+use atomfs_journal::wire::{decode_frame, decode_record, encode_frame, encode_record, Frame, FrameKind};
 use atomfs_trace::MicroOp;
 use atomfs_vfs::FileType;
 use proptest::collection::vec;
@@ -47,6 +51,53 @@ fn op_strategy() -> impl Strategy<Value = MicroOp> {
 
 fn record_strategy() -> impl Strategy<Value = (u64, u64, Vec<MicroOp>)> {
     (any::<u64>(), any::<u64>(), vec(op_strategy(), 0..6))
+}
+
+/// Strategy for one v2 frame: seal kinds carry no ops (the format
+/// rejects a "seal" smuggling a payload), op-bearing kinds carry a small
+/// stamped batch.
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        0u8..5,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        vec((any::<u64>(), op_strategy()), 0..5),
+        vec((any::<u64>(), 1u64..50), 0..4),
+    )
+        .prop_map(|(gen, shard, k, epoch, seq, txn, ops, spans)| {
+            let kind = match k {
+                0 => FrameKind::Batch,
+                1 => FrameKind::EpochSeal,
+                2 => FrameKind::RenameIntent,
+                3 => FrameKind::RenameSeal,
+                _ => FrameKind::Quarantine,
+            };
+            let carries = matches!(kind, FrameKind::Batch | FrameKind::RenameIntent);
+            // Quarantine windows must be ascending and non-overlapping;
+            // build them from (start-offset, width) deltas.
+            let mut windows = Vec::new();
+            if matches!(kind, FrameKind::Quarantine) {
+                let mut lo = 0u64;
+                for (gap, width) in spans {
+                    lo = lo.saturating_add(gap % 1000);
+                    windows.push((lo, lo + width));
+                    lo += width;
+                }
+            }
+            Frame {
+                gen,
+                shard,
+                kind,
+                epoch,
+                seq,
+                txn,
+                ops: if carries { ops } else { Vec::new() },
+                windows,
+            }
+        })
 }
 
 proptest! {
@@ -111,6 +162,83 @@ proptest! {
                 prop_assert_eq!(decoded, ops);
             }
         }
+    }
+
+    #[test]
+    fn frame_roundtrip_is_exact(frame in frame_strategy()) {
+        let bytes = encode_frame(&frame);
+        let (decoded, total) = decode_frame(&bytes).expect("valid frame decodes");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(total, bytes.len());
+        // The pairing-relevant fields roundtrip bit-exactly.
+        prop_assert_eq!(decoded.epoch, frame.epoch);
+        prop_assert_eq!(decoded.txn, frame.txn);
+        prop_assert_eq!(decoded.kind, frame.kind);
+    }
+
+    #[test]
+    fn frame_truncations_never_decode(frame in frame_strategy(), frac in 0.0f64..1.0) {
+        let bytes = encode_frame(&frame);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(
+            decode_frame(&bytes[..cut]).is_none(),
+            "a truncated frame must never decode (cut at {} of {})",
+            cut,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn frame_bit_flips_never_forge_a_pairable_transaction(
+        frame in frame_strategy(),
+        flips in vec((any::<u16>(), 0u8..8), 1..5)
+    ) {
+        let bytes = encode_frame(&frame);
+        let mut bad = bytes.clone();
+        for (pos, bit) in &flips {
+            let byte = *pos as usize % bad.len();
+            bad[byte] ^= 1 << bit;
+        }
+        match decode_frame(&bad) {
+            None => {}
+            Some((decoded, _)) => {
+                // Flips may cancel back to the original bytes; anything
+                // else surviving the checksum would let a corrupted
+                // intent or seal pair under a different (txn, epoch).
+                prop_assert_eq!(&bad, &bytes, "corrupted frame decoded");
+                prop_assert_eq!(decoded, frame);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_arbitrary_bytes_never_panic(tail in vec(any::<u8>(), 0..400)) {
+        let mut buf = atomfs_journal::wire::MAGIC2.to_le_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        if let Some((frame, total)) = decode_frame(&buf) {
+            prop_assert!(total <= buf.len());
+            // Whatever decodes, the lost-stamp windows are well-formed:
+            // ascending, non-overlapping, non-empty. Recovery skips
+            // exactly these stamps, so garbage must never widen them.
+            let mut prev = 0u64;
+            for (lo, hi) in &frame.windows {
+                prop_assert!(lo < hi && *lo >= prev);
+                prev = *hi;
+            }
+        }
+    }
+
+    #[test]
+    fn v1_records_and_v2_frames_never_cross_decode(
+        (epoch, seq, ops) in record_strategy(),
+        frame in frame_strategy()
+    ) {
+        // Distinct magics: a scan can never misparse one format as the
+        // other, which is what keeps a sharded region scrub from
+        // "finding" v1 records and vice versa.
+        prop_assert!(decode_frame(&encode_record(epoch, seq, &ops)).is_none());
+        prop_assert!(decode_record(&encode_frame(&frame)).is_none());
     }
 
     #[test]

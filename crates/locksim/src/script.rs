@@ -366,9 +366,18 @@ mod tests {
         });
         let scripts = scripts_from_trace(&trace, &no_cache(CostModel::atomfs_fuse()));
         assert_eq!(scripts.len(), 2);
-        // First op locks only the root; second locks root then /a.
+        // The optimistic walk reaches each parent locklessly, so every
+        // mkdir acquires exactly one lock: the directory it mutates.
         assert_eq!(acquires(&scripts[0]), 1);
-        assert_eq!(acquires(&scripts[1]), 2);
+        assert_eq!(acquires(&scripts[1]), 1);
+        // The deeper path still pays the extra per-component walk step.
+        let work = |s: &OpScript| {
+            s.events
+                .iter()
+                .filter(|e| matches!(e, SimEvent::Work(_)))
+                .count()
+        };
+        assert_eq!(work(&scripts[1]), work(&scripts[0]) + 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::Event;
+use crate::{Event, Inum, Tid};
 
 /// Receiver of trace events.
 ///
@@ -36,6 +36,31 @@ pub trait TraceSink: Send + Sync {
     /// consumer instead of one per consumer.
     fn emit_ref(&self, event: &Event) {
         self.emit(event.clone());
+    }
+
+    /// Routing hint: the *primary* inode of the operation thread `tid` is
+    /// about to mutate (the locked parent directory for namespace ops, the
+    /// file inode for data ops, the **source** parent for renames).
+    ///
+    /// Emitters call this once per operation, before the first
+    /// [`Event::Mutate`], while already inside the critical section. A
+    /// sharded journal sink uses it to route every micro-op of the
+    /// operation to one shard (chosen by inode-range hash) instead of
+    /// scattering them by per-op target; recording and checking sinks
+    /// ignore it — it carries no semantic content, only placement.
+    fn shard_hint(&self, _tid: Tid, _primary: Inum) {}
+
+    /// Whether a mutation whose primary inode is `primary` may proceed.
+    ///
+    /// Emitters ask *before* [`TraceSink::shard_hint`] and before taking
+    /// any observable step of the mutation. A sink that has lost the
+    /// durability domain backing `primary` (e.g. a journal whose shard
+    /// for that inode range is quarantined) answers `false`, and the
+    /// emitter fails the operation read-only *without mutating* — so the
+    /// trace never contains a mutation the sink could not have logged.
+    /// Pure observers keep the default `true`.
+    fn admit_mutation(&self, _primary: Inum) -> bool {
+        true
     }
 }
 
@@ -129,6 +154,16 @@ impl TraceSink for FanoutSink {
         for sink in &self.0 {
             sink.emit_ref(event);
         }
+    }
+
+    fn shard_hint(&self, tid: Tid, primary: Inum) {
+        for sink in &self.0 {
+            sink.shard_hint(tid, primary);
+        }
+    }
+
+    fn admit_mutation(&self, primary: Inum) -> bool {
+        self.0.iter().all(|sink| sink.admit_mutation(primary))
     }
 }
 

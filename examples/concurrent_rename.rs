@@ -11,14 +11,23 @@
 
 use std::sync::Arc;
 
-use atomfs::AtomFs;
+use atomfs::{AtomFs, AtomFsConfig};
 use atomfs_trace::{set_current_tid, BufferSink, Event, GateSink, Tid, TraceSink};
 use atomfs_vfs::FileSystem;
 use crlh::{CheckerConfig, HelperMode, LpChecker, RelationCadence};
 
 fn main() {
     let sink = Arc::new(GateSink::new(BufferSink::new()));
-    let fs = Arc::new(AtomFs::traced(sink.clone() as Arc<dyn TraceSink>));
+    // Figure 1 stages a lock-coupled walk being overtaken; pin the
+    // pessimistic walk so the optimistic fast path cannot dissolve the
+    // conflict by revalidating past it.
+    let fs = Arc::new(AtomFs::traced_with_config(
+        sink.clone() as Arc<dyn TraceSink>,
+        AtomFsConfig {
+            optimistic: false,
+            ..AtomFsConfig::default()
+        },
+    ));
     fs.mkdir("/a").unwrap();
     fs.mkdir("/a/b").unwrap();
 
