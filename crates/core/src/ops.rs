@@ -30,6 +30,7 @@
 //! Renames never take the fast path: they are the helper-mechanism case
 //! and keep the full two-phase pessimistic traversal.
 
+use atomfs_obs::{Span, SpanKind};
 use atomfs_trace::{current_tid, Event, MicroOp, OpDesc, OpRet, PathTag, StatRet, Tid};
 use atomfs_vfs::path::normalize_ref;
 use atomfs_vfs::{FileSystem, FileType, FsError, FsResult, Metadata};
@@ -47,15 +48,24 @@ pub(crate) fn owned(comps: &[&str]) -> Vec<String> {
 impl AtomFs {
     /// Begin a metered operation: sample-gate it and read the clock if
     /// observed (sentinel when unmetered — the value is only consumed by
-    /// [`AtomFs::op_end`], which checks again).
+    /// [`AtomFs::op_end`], which checks again), and open the operation's
+    /// root span. The span is itself sampled (or joins an enclosing
+    /// span, e.g. a `MeteredFs` wrapper's), so phase children recorded
+    /// deeper in the walk/journal attach to this id.
     #[inline]
-    fn op_start(&self) -> u64 {
-        self.m().map_or(FsMetrics::UNTIMED, |m| m.op_begin())
+    fn op_start(&self, op: OpKind) -> (u64, Span) {
+        let sp = Span::op_root(SpanKind::Op, op.label());
+        (self.m().map_or(FsMetrics::UNTIMED, |m| m.op_begin()), sp)
     }
 
-    /// Record a finished operation's latency and error status.
+    /// Record a finished operation's latency and error status, and close
+    /// its span.
     #[inline]
-    fn op_end<T>(&self, op: OpKind, start: u64, result: &FsResult<T>) {
+    fn op_end<T>(&self, op: OpKind, start: u64, mut span: Span, result: &FsResult<T>) {
+        if result.is_err() {
+            span.fail();
+        }
+        drop(span);
         if let Some(m) = self.m() {
             m.op_done(op, start, result.is_err());
         }
@@ -567,72 +577,72 @@ impl FileSystem for AtomFs {
     }
 
     fn mknod(&self, path: &str) -> FsResult<()> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Mknod);
         let result = self.create_entry(path, FileType::File);
-        self.op_end(OpKind::Mknod, t0, &result);
+        self.op_end(OpKind::Mknod, t0, sp, &result);
         result
     }
 
     fn mkdir(&self, path: &str) -> FsResult<()> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Mkdir);
         let result = self.create_entry(path, FileType::Dir);
-        self.op_end(OpKind::Mkdir, t0, &result);
+        self.op_end(OpKind::Mkdir, t0, sp, &result);
         result
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Unlink);
         let result = self.remove_entry(path, false);
-        self.op_end(OpKind::Unlink, t0, &result);
+        self.op_end(OpKind::Unlink, t0, sp, &result);
         result
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Rmdir);
         let result = self.remove_entry(path, true);
-        self.op_end(OpKind::Rmdir, t0, &result);
+        self.op_end(OpKind::Rmdir, t0, sp, &result);
         result
     }
 
     fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Rename);
         let result = self.rename_outer(src, dst);
-        self.op_end(OpKind::Rename, t0, &result);
+        self.op_end(OpKind::Rename, t0, sp, &result);
         result
     }
 
     fn stat(&self, path: &str) -> FsResult<Metadata> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Stat);
         let result = self.stat_outer(path);
-        self.op_end(OpKind::Stat, t0, &result);
+        self.op_end(OpKind::Stat, t0, sp, &result);
         result
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Readdir);
         let result = self.readdir_outer(path);
-        self.op_end(OpKind::Readdir, t0, &result);
+        self.op_end(OpKind::Readdir, t0, sp, &result);
         result
     }
 
     fn read(&self, path: &str, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Read);
         let result = self.read_outer(path, offset, buf);
-        self.op_end(OpKind::Read, t0, &result);
+        self.op_end(OpKind::Read, t0, sp, &result);
         result
     }
 
     fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<usize> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Write);
         let result = self.write_outer(path, offset, data);
-        self.op_end(OpKind::Write, t0, &result);
+        self.op_end(OpKind::Write, t0, sp, &result);
         result
     }
 
     fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
-        let t0 = self.op_start();
+        let (t0, sp) = self.op_start(OpKind::Truncate);
         let result = self.truncate_outer(path, size);
-        self.op_end(OpKind::Truncate, t0, &result);
+        self.op_end(OpKind::Truncate, t0, sp, &result);
         result
     }
 }

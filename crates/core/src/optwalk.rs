@@ -59,6 +59,7 @@
 
 use std::sync::atomic::{fence, Ordering};
 
+use atomfs_obs::{Span, SpanKind};
 use atomfs_trace::{Event, PathTag, Tid};
 use atomfs_vfs::{FileType, FsError, FsResult, Metadata};
 
@@ -98,6 +99,21 @@ impl AtomFs {
     /// (missing entry, file used as directory), or `Err(())` when a
     /// hand-over-hand validation failed mid-walk.
     fn opt_resolve<'a>(
+        &'a self,
+        tid: Tid,
+        comps: &[&str],
+    ) -> Result<(Chain<'a>, Option<FsError>), ()> {
+        // Phase span: one optimistic walk attempt under the (sampled)
+        // operation root; a mid-walk validation failure marks it failed.
+        let mut sp = Span::child(SpanKind::OptWalk, "opt_resolve");
+        let r = self.opt_resolve_inner(tid, comps);
+        if r.is_err() {
+            sp.fail();
+        }
+        r
+    }
+
+    fn opt_resolve_inner<'a>(
         &'a self,
         tid: Tid,
         comps: &[&str],

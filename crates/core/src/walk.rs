@@ -26,6 +26,7 @@
 
 use parking_lot::{ArcMutexGuard, RawMutex};
 
+use atomfs_obs::{Span, SpanKind};
 use atomfs_trace::{Event, Inum, PathTag, Tid, ROOT_INUM};
 use atomfs_vfs::FsError;
 
@@ -182,6 +183,10 @@ impl AtomFs {
                 let (guard, waited) = match parking_lot::Mutex::try_lock_arc(&iref.data) {
                     Some(g) => (g, None),
                     None => {
+                        // Blocked acquisition: spanned (uncontended takes
+                        // are not), so a sampled op's trace shows exactly
+                        // where it waited and for how long.
+                        let _sp = Span::child(SpanKind::Lock, "lock_wait");
                         let t0 = m.now();
                         let g = parking_lot::Mutex::lock_arc(&iref.data);
                         (g, Some(m.now().saturating_sub(t0)))

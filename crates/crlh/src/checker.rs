@@ -380,6 +380,21 @@ impl LpChecker {
         if let Some(m) = &self.metrics {
             m.violation(kind);
         }
+        if self.violations.is_empty() {
+            // First violation of this run: capture a black box while the
+            // flight recorder still holds the spans leading up to it.
+            // Later violations are usually cascades of the first and get
+            // counters only.
+            let mut sp = atomfs_obs::Span::root(atomfs_obs::SpanKind::Trigger, "checker_violation");
+            sp.fail();
+            drop(sp);
+            atomfs_obs::dump::trigger(
+                atomfs_obs::TriggerCause::CheckerViolation {
+                    kind: kind.label().to_string(),
+                },
+                None,
+            );
+        }
         self.violations.push(Violation {
             at: self.idx,
             kind,
@@ -492,17 +507,28 @@ impl LpChecker {
 
     /// Convenience: check a complete trace in one call.
     pub fn check(cfg: CheckerConfig, events: &[Event]) -> CheckReport {
+        // Checker passes are rare and long: always-recorded phase span.
+        let mut sp = atomfs_obs::Span::root(atomfs_obs::SpanKind::Checker, "check");
         let mut c = LpChecker::new(cfg);
         c.feed_all(events);
-        c.finish()
+        let report = c.finish();
+        if !report.violations.is_empty() {
+            sp.fail();
+        }
+        report
     }
 
     /// Convenience: check a complete sequence-stamped trace in one call,
     /// including stamp monotonicity (see [`LpChecker::feed_all_stamped`]).
     pub fn check_stamped(cfg: CheckerConfig, events: &[(u64, Event)]) -> CheckReport {
+        let mut sp = atomfs_obs::Span::root(atomfs_obs::SpanKind::Checker, "check_stamped");
         let mut c = LpChecker::new(cfg);
         c.feed_all_stamped(events);
-        c.finish()
+        let report = c.finish();
+        if !report.violations.is_empty() {
+            sp.fail();
+        }
+        report
     }
 
     fn on_begin(&mut self, tid: Tid, op: &OpDesc) {

@@ -272,10 +272,16 @@ impl JournaledFs {
         Self::with_sharded(ShardedJournalSink::new(device, cfg), Some(observer))
     }
 
-    /// [`JournaledFs::create_sharded_observed`] with one device per shard
-    /// — distinct fault domains, so a failure confined to one device
+    /// [`JournaledFs::create_sharded`] with one device per shard —
+    /// distinct fault domains, so a failure confined to one device
     /// quarantines only that shard's inode range instead of degrading
     /// the whole mount. `devices.len()` must equal `cfg`'s shard count.
+    pub fn create_sharded_with_devices(devices: Vec<Arc<dyn BlockDevice>>, cfg: ShardConfig) -> Self {
+        Self::with_sharded(ShardedJournalSink::with_devices(devices, cfg), None)
+    }
+
+    /// [`JournaledFs::create_sharded_with_devices`] plus an extra trace
+    /// sink observing the same event stream.
     pub fn create_sharded_observed_with_devices(
         devices: Vec<Arc<dyn BlockDevice>>,
         cfg: ShardConfig,

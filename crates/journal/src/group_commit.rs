@@ -64,6 +64,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use atomfs_obs::dump::{self, TriggerCause};
+use atomfs_obs::{Span, SpanKind};
 use atomfs_trace::{Event, Inum, MicroOp, Tid, TraceSink};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -477,14 +479,33 @@ impl ShardedJournalSink {
     }
 
     fn degrade(&self, cause: DiskError, failed_at_seq: u64) {
-        let mut health = self.health.lock();
-        if !health.is_degraded() {
-            *health = Health::Degraded {
-                cause,
-                failed_at_seq,
-            };
-            self.degraded.store(true, Ordering::Relaxed);
-            self.counters.degraded_flips.fetch_add(1, Ordering::Relaxed);
+        let flipped = {
+            let mut health = self.health.lock();
+            if health.is_degraded() {
+                false
+            } else {
+                *health = Health::Degraded {
+                    cause,
+                    failed_at_seq,
+                };
+                self.degraded.store(true, Ordering::Relaxed);
+                self.counters.degraded_flips.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        };
+        if flipped {
+            // Black-box capture strictly after the health lock is
+            // released: the dump's metrics snapshot runs registered
+            // callbacks, and this sink's own bridges read health state.
+            let mut sp = Span::root(SpanKind::Trigger, "degraded_flip");
+            sp.fail();
+            drop(sp);
+            dump::trigger(
+                TriggerCause::DegradedFlip {
+                    detail: format!("{cause:?} at seq {failed_at_seq}"),
+                },
+                Some(self.health_report().to_json()),
+            );
         }
     }
 
@@ -495,6 +516,21 @@ impl ShardedJournalSink {
         if !s.gauges.dead.swap(true, Ordering::Relaxed) {
             *s.cause.lock() = Some(cause);
             self.quarantines.fetch_add(1, Ordering::Relaxed);
+            // Trigger span first (so it lands in the rings the dump
+            // freezes), then the capture itself. No locks are held here
+            // beyond the caller's commit lock, which no metrics callback
+            // takes.
+            let mut sp = Span::root(SpanKind::Trigger, "shard_quarantine");
+            sp.set_shard(i as u32);
+            sp.fail();
+            drop(sp);
+            dump::trigger(
+                TriggerCause::ShardQuarantine {
+                    shard: i as u32,
+                    detail: format!("{cause:?} at seq {at}"),
+                },
+                Some(self.health_report().to_json()),
+            );
         }
         if self
             .shards
@@ -514,7 +550,7 @@ impl ShardedJournalSink {
     }
 
     /// Bitmask of quarantined shards (shard ids fit in a `u64`).
-    fn dead_mask(&self) -> u64 {
+    pub fn dead_mask(&self) -> u64 {
         (0..self.shards.len())
             .filter(|&i| self.shard_dead(i))
             .fold(0u64, |m, i| m | (1u64 << i))
@@ -592,17 +628,25 @@ impl ShardedJournalSink {
     fn stage_plain(&self, shard: usize, mop: MicroOp) {
         if self.cfg.group_commit {
             // Shared-held barrier: the stamp and the push land atomically
-            // with respect to the epoch cut.
+            // with respect to the epoch cut. The phase span (child of the
+            // sampled op root, inert otherwise) reads the open epoch under
+            // the same guard, so its (shard, epoch, stamp) triple is the
+            // one the next cut will assign.
+            let mut sp = Span::child(SpanKind::ShardAppend, "stage_plain");
+            sp.set_shard(shard as u32);
             let _r = self.cut.read();
             if self.shard_dead(shard) {
                 // Quarantined range — the op raced the admission gate.
                 // Count it dropped and consume no stamp, so the global
                 // stamp stream stays gap-free for everyone else.
+                sp.fail();
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             let mut buf = self.shards[shard].buf.lock();
             let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+            sp.set_stamp(stamp);
+            sp.set_epoch(self.open_epoch.load(Ordering::Relaxed));
             buf.plain.push((stamp, mop));
         } else {
             // Eager mode (the ablation baseline): one frame per micro-op,
@@ -635,8 +679,12 @@ impl ShardedJournalSink {
             }
             // No cut guard needed: the transaction gate keeps the cut out
             // until this transaction seals.
+            let mut sp = Span::child(SpanKind::ShardAppend, "stage_intent");
+            sp.set_shard(txn.src as u32);
             let mut buf = self.shards[txn.src].buf.lock();
             let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+            sp.set_stamp(stamp);
+            sp.set_epoch(self.open_epoch.load(Ordering::Relaxed));
             match buf.intents.iter_mut().find(|(id, _)| *id == txn.id) {
                 Some((_, ops)) => ops.push((stamp, mop)),
                 None => buf.intents.push((txn.id, vec![(stamp, mop)])),
@@ -748,6 +796,18 @@ impl ShardedJournalSink {
     /// when the mount is (or just became) degraded — nothing since the
     /// last `Ok` is guaranteed durable.
     pub fn sync(&self) -> Result<(), DiskError> {
+        // Always-recorded root (syncs are rare and device-bound): this is
+        // what guarantees a fault dump carries the commit that failed,
+        // even at sparse op sampling.
+        let mut sp = Span::root(SpanKind::Op, "journal_sync");
+        let r = self.sync_inner();
+        if r.is_err() {
+            sp.fail();
+        }
+        r
+    }
+
+    fn sync_inner(&self) -> Result<(), DiskError> {
         if self.degraded.load(Ordering::Relaxed) {
             if let Health::Degraded { cause, .. } = *self.health.lock() {
                 return Err(cause);
@@ -859,6 +919,18 @@ impl ShardedJournalSink {
 
     /// Commit body; the caller holds `commit_lock`.
     fn commit_locked(&self, force: bool) -> Result<(), DiskError> {
+        // Always-recorded commit span (one per group commit, not per op).
+        // Children — the cut, per-shard slice writes, the flush barrier —
+        // hang off it, across threads via its id.
+        let mut sp = Span::root(SpanKind::EpochCut, "group_commit");
+        let r = self.commit_locked_inner(force, &mut sp);
+        if r.is_err() {
+            sp.fail();
+        }
+        r
+    }
+
+    fn commit_locked_inner(&self, force: bool, sp: &mut Span) -> Result<(), DiskError> {
         if let Health::Degraded { cause, .. } = *self.health.lock() {
             return Err(cause);
         }
@@ -894,6 +966,9 @@ impl ShardedJournalSink {
         self.txns.release();
 
         let (covered, staged) = cut;
+        if let Some((epoch, _)) = &staged {
+            sp.set_epoch(*epoch);
+        }
         let Some((epoch, taken)) = staged else {
             // Nothing staged: sync degenerates to a flush barrier.
             let flush_failed = self.flush_pass();
@@ -934,14 +1009,29 @@ impl ShardedJournalSink {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let big = cores > 1
             && slices.iter().map(|(_, b)| b.op_count()).sum::<usize>() >= PARALLEL_EPOCH_OPS;
+        // Slice writes link to the commit span by explicit id — the
+        // parallel branch runs them on scope threads, where the
+        // thread-local parent stack would not see it.
+        let commit_id = sp.id();
+        let spanned_slice = |i: usize, b: &ShardBuf| {
+            let mut ssp = Span::child_of(commit_id, SpanKind::ShardAppend, "epoch_slice");
+            ssp.set_shard(i as u32);
+            ssp.set_epoch(epoch);
+            let r = self.write_epoch_slice(i, b, epoch);
+            if r.is_err() {
+                ssp.fail();
+            }
+            r
+        };
         let results: Vec<(usize, Result<(), (DiskError, u64)>)> = if big && slices.len() > 1 {
+            let spanned_slice = &spanned_slice;
             std::thread::scope(|sc| {
                 let handles: Vec<_> = slices[1..]
                     .iter()
-                    .map(|&(i, b)| sc.spawn(move || (i, self.write_epoch_slice(i, b, epoch))))
+                    .map(|&(i, b)| sc.spawn(move || (i, spanned_slice(i, b))))
                     .collect();
                 let (i0, b0) = slices[0];
-                let mut out = vec![(i0, self.write_epoch_slice(i0, b0, epoch))];
+                let mut out = vec![(i0, spanned_slice(i0, b0))];
                 out.extend(
                     handles
                         .into_iter()
@@ -952,7 +1042,7 @@ impl ShardedJournalSink {
         } else {
             slices
                 .iter()
-                .map(|&(i, b)| (i, self.write_epoch_slice(i, b, epoch)))
+                .map(|&(i, b)| (i, spanned_slice(i, b)))
                 .collect()
         };
         for (i, r) in results {
@@ -1078,6 +1168,8 @@ impl ShardedJournalSink {
     /// Returns the shards whose device refused, with the cause — the
     /// caller decides between quarantine and whole-mount degradation.
     fn flush_pass(&self) -> Vec<(usize, DiskError, u64)> {
+        // Child of the commit span (flushes only run under it).
+        let mut sp = Span::child(SpanKind::FlushBarrier, "flush_pass");
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for i in 0..self.shards.len() {
             if self.shard_dead(i) {
@@ -1106,6 +1198,10 @@ impl ShardedJournalSink {
                     failed.push((i, cause, at));
                 }
             }
+        }
+        if let Some(&(i, _, _)) = failed.first() {
+            sp.set_shard(i as u32);
+            sp.fail();
         }
         failed
     }

@@ -275,6 +275,49 @@ pub struct HealthReport {
     pub recovery: Option<RecoverySummary>,
 }
 
+impl HealthReport {
+    /// Hand-rolled JSON rendering — embedded verbatim as the `health`
+    /// section of a black-box dump ([`atomfs_obs::dump`]).
+    pub fn to_json(&self) -> String {
+        // `{:?}` of `Health`/`DiskError` never produces JSON-special
+        // characters (quotes, backslashes, control bytes), so the value
+        // can be quoted directly.
+        let mut s = format!(
+            "{{\"health\":\"{:?}\",\"device_faults\":{},\"retries\":{},\
+             \"degraded_flips\":{},\"dropped_events\":{}",
+            self.health,
+            self.device_faults,
+            self.retries,
+            self.degraded_flips,
+            self.dropped_events
+        );
+        match &self.recovery {
+            Some(r) => s.push_str(&format!(
+                ",\"recovery\":{{\"epoch\":{},\"ops_replayed\":{},\
+                 \"skipped_total\":{},\"torn\":{},\"checksum_mismatch\":{},\
+                 \"stale_epoch\":{},\"orphaned\":{},\"garbage\":{}}}",
+                r.epoch,
+                r.ops_replayed,
+                r.skipped_total,
+                r.torn,
+                r.checksum_mismatch,
+                r.stale_epoch,
+                r.orphaned,
+                r.garbage
+            )),
+            None => s.push_str(",\"recovery\":null"),
+        }
+        // Flight-recorder state rides along: a health scrape is exactly
+        // when an operator wants to know whether the rings hold a usable
+        // last-moments record (and a static `{"rings":0,...}` under
+        // `obs-off`).
+        s.push_str(",\"flightrec\":");
+        s.push_str(&atomfs_obs::flightrec::stats_json());
+        s.push('}');
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -220,6 +220,38 @@ pub fn register_sharded_journal_metrics(registry: &Registry, sink: &Arc<ShardedJ
             move || s.health_report().recovery.map_or(0.0, |r| get(r) as f64),
         );
     }
+    // The quarantine family: partial-degradation state bridged the same
+    // way as the recovery gauges, so a scrape shows *which* shards are
+    // dead and how much licensed loss the windows currently cover.
+    let s = Arc::clone(sink);
+    registry.register_fn(
+        "journal_dead_shard_mask",
+        &[],
+        "Bitmask of quarantined shards (bit i set = shard i dead).",
+        FnKind::Gauge,
+        move || s.dead_mask() as f64,
+    );
+    let s = Arc::clone(sink);
+    registry.register_fn(
+        "journal_lost_stamp_windows",
+        &[],
+        "Coalesced lost-stamp windows licensed by quarantine frames.",
+        FnKind::Gauge,
+        move || s.lost_stamp_windows().len() as f64,
+    );
+    let s = Arc::clone(sink);
+    registry.register_fn(
+        "journal_lost_stamp_window_width",
+        &[],
+        "Total stamps covered by the licensed lost-stamp windows.",
+        FnKind::Gauge,
+        move || {
+            s.lost_stamp_windows()
+                .iter()
+                .map(|&(lo, hi)| hi.saturating_sub(lo))
+                .sum::<u64>() as f64
+        },
+    );
     for i in 0..sink.shard_count() {
         let shard = i.to_string();
         let labels = [("shard", shard.as_str())];
@@ -366,6 +398,78 @@ mod tests {
         // The per-shard family stays renderable on a degraded mount.
         assert!(text.contains("journal_shard_epoch_lag{shard=\"0\"}"));
         assert!(text.contains("journal_shard_epoch_lag{shard=\"1\"}"));
+    }
+
+    #[test]
+    fn quarantine_gauges_track_a_dead_shard() {
+        use crate::faults::{FaultPlan, FaultyDisk};
+        use crate::shard::{shard_of, ShardConfig};
+        let cfg = ShardConfig::default();
+        let shards = cfg.shard_count();
+        let root_shard = shard_of(atomfs_trace::ROOT_INUM, shards);
+        let victim = (root_shard + 1) % shards;
+        let disk = Arc::new(Disk::new());
+        let devices: Vec<Arc<dyn BlockDevice>> = (0..shards)
+            .map(|s| {
+                if s == victim {
+                    Arc::new(FaultyDisk::new(
+                        Arc::clone(&disk),
+                        FaultPlan::none(1).with_permanent_failure_after(3),
+                    )) as Arc<dyn BlockDevice>
+                } else {
+                    Arc::clone(&disk) as Arc<dyn BlockDevice>
+                }
+            })
+            .collect();
+        let sink = Arc::new(crate::group_commit::ShardedJournalSink::with_devices(
+            devices, cfg,
+        ));
+        let reg = Registry::new();
+        register_sharded_journal_metrics(&reg, &sink);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("journal_dead_shard_mask"), Some(0.0));
+        assert_eq!(snap.gauge("journal_lost_stamp_window_width"), Some(0.0));
+
+        // Drive stamped creates through the sink until the victim's
+        // device dies and a sync records the loss.
+        use atomfs_trace::{Event, MicroOp, OpDesc, OpRet, Tid, TraceSink};
+        let tid = Tid(1);
+        let mut saw_err = false;
+        for i in 0..200u64 {
+            let ino = 100 + i;
+            sink.emit(Event::OpBegin {
+                tid,
+                op: OpDesc::Mknod {
+                    path: vec![format!("f{i}")],
+                },
+            });
+            sink.emit(Event::Mutate {
+                tid,
+                mop: MicroOp::Create {
+                    ino,
+                    ftype: atomfs_vfs::FileType::File,
+                },
+            });
+            sink.emit(Event::Lp { tid });
+            sink.emit(Event::OpEnd { tid, ret: OpRet::Ok });
+            if i % 5 == 4 && sink.sync().is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        let _ = sink.sync();
+        assert!(saw_err || !sink.quarantined_shards().is_empty());
+        let snap = reg.snapshot();
+        let mask = snap.gauge("journal_dead_shard_mask").unwrap() as u64;
+        assert_eq!(mask, sink.dead_mask());
+        assert_ne!(mask, 0, "no shard quarantined");
+        let width = snap.gauge("journal_lost_stamp_window_width").unwrap() as u64;
+        let expect: u64 = sink
+            .lost_stamp_windows()
+            .iter()
+            .map(|&(lo, hi)| hi - lo)
+            .sum();
+        assert_eq!(width, expect);
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! one thread; the fault-storm suite pins the two to equal results on
 //! every seed.
 
+use atomfs_obs::dump::{self, TriggerCause};
+use atomfs_obs::{Span, SpanKind};
 use atomfs_trace::MicroOp;
 
 use crate::device::{Disk, SECTOR_SIZE};
@@ -297,11 +299,18 @@ impl ShardedRecovered {
 
 /// Scan every shard **in parallel** (one thread each) and resolve.
 pub fn recover_sharded(disk: &Disk, cfg: &ShardConfig) -> ShardedRecovered {
+    // Always-recorded replay tree: the root covers the whole recovery,
+    // one child per scan thread (linked by explicit id — the scanners
+    // run off-thread).
+    let sp = Span::root(SpanKind::Replay, "recover_sharded");
+    let root_id = sp.id();
     let n = cfg.shard_count();
     let mut scans: Vec<Option<ShardScan>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         for (i, slot) in scans.iter_mut().enumerate() {
             s.spawn(move || {
+                let mut ssp = Span::child_of(root_id, SpanKind::Replay, "scan_shard");
+                ssp.set_shard(i as u32);
                 *slot = Some(scan_shard(disk, i, cfg));
             });
         }
@@ -433,7 +442,7 @@ pub fn resolve(scans: Vec<ShardScan>) -> ShardedRecovered {
         .or_else(|| scans.iter().filter(current).map(seal_max).min())
         .unwrap_or(0);
 
-    ShardedRecovered {
+    let recovered = ShardedRecovered {
         gen,
         ops: merged.ops,
         truncated_at: merged.truncated_at,
@@ -444,7 +453,26 @@ pub fn resolve(scans: Vec<ShardScan>) -> ShardedRecovered {
         lost_windows: windows,
         lost_ops: merged.lost,
         scans,
+    };
+    if recovered.lost_ops > 0 {
+        // Loss was licensed by durable windows, but it is still loss:
+        // capture a black box so the post-mortem carries the replay
+        // spans and the window arithmetic that admitted it.
+        let mut sp = Span::root(SpanKind::Trigger, "recovery_loss");
+        sp.fail();
+        drop(sp);
+        dump::trigger(
+            TriggerCause::RecoveryLoss {
+                lost_ops: recovered.lost_ops as u64,
+                detail: format!(
+                    "gen {} mask {:#x} windows {:?}",
+                    recovered.gen, recovered.quarantined_mask, recovered.lost_windows
+                ),
+            },
+            None,
+        );
     }
+    recovered
 }
 
 #[cfg(test)]

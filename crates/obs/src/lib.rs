@@ -38,8 +38,11 @@
 //! benchmark reports such as `BENCH_obs.json`.
 
 pub mod clock;
+pub mod dump;
+pub mod flightrec;
 pub mod metric;
 pub mod registry;
+pub mod span;
 
 #[cfg_attr(feature = "obs-off", allow(dead_code))]
 mod shard;
@@ -51,8 +54,10 @@ pub mod hist {
 }
 
 pub use clock::{ClockSource, MonotonicClock, VirtualClock};
+pub use dump::{BlackBox, TriggerCause};
 pub use metric::{Counter, Gauge, HistSnapshot, Histogram};
 pub use registry::{FnKind, Registry, SnapEntry, SnapValue, Snapshot};
+pub use span::{render_spans_json, Span, SpanKind, SpanRecord};
 
 /// Whether instrumentation is compiled in. `false` under the `obs-off`
 /// feature: gate hot-path work on this constant and the compiler deletes

@@ -275,12 +275,31 @@ fn label_str(labels: &[(String, String)], le: Option<&str>) -> String {
     }
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
     }
     format!("{{{}}}", parts.join(","))
+}
+
+/// Escape a label value per the Prometheus text exposition spec:
+/// backslash, double-quote, and line feed must be written as `\\`,
+/// `\"`, and `\n` inside the quoted value.
+fn escape_label_value(v: &str) -> String {
+    if !v.contains(['\\', '"', '\n']) {
+        return v.to_string();
+    }
+    let mut out = String::with_capacity(v.len() + 2);
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -414,7 +433,7 @@ impl Snapshot {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -524,5 +543,32 @@ mod tests {
     #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let r = Registry::new();
+        // A pathological label value exercising every escape the spec
+        // requires: backslash, double-quote, and newline. A callback
+        // metric so the value renders identically under obs-off.
+        r.register_fn(
+            "path_ops_total",
+            &[("path", "a\\b\"c\nd")],
+            "ops by path",
+            FnKind::Counter,
+            || 1.0,
+        );
+        let text = r.render_prometheus();
+        assert!(
+            text.contains(r#"path_ops_total{path="a\\b\"c\nd"} 1"#),
+            "unescaped or mis-escaped label in: {text}"
+        );
+        // The raw newline must not appear inside the rendered series —
+        // every line stays parseable.
+        for line in text.lines() {
+            if line.starts_with("path_ops_total") {
+                assert!(line.ends_with(" 1"));
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use atomfs_obs::{ClockSource, Counter, Histogram, Registry};
+use atomfs_obs::{ClockSource, Counter, FnKind, Histogram, Registry, Span, SpanKind};
 
 use crate::error::FsResult;
 use crate::fs::{FileSystem, Metadata};
@@ -56,6 +56,24 @@ impl<F: FileSystem> MeteredFs<F> {
                 "Operations that returned an error.",
             ),
         });
+        // Per-op p50/p99 as scrape-time gauges, so one Prometheus scrape
+        // carries the quantiles the fig10/fig11 tables compute offline.
+        // `registry.histogram` dedups by (name, labels): every instance
+        // sharing the registry holds the same `Arc<Histogram>`, so the
+        // idempotently-registered callback reads the merged series no
+        // matter which instance registered it.
+        for (i, op) in OPS.iter().enumerate() {
+            for (q, qname) in [(0.5f64, "0.5"), (0.99f64, "0.99")] {
+                let h = Arc::clone(&ops[i].ns);
+                registry.register_fn(
+                    "fs_op_ns_quantile",
+                    &[("op", op), ("q", qname)],
+                    "Operation latency quantile in nanoseconds (snapshot at scrape time).",
+                    FnKind::Gauge,
+                    move || h.snapshot().quantile(q) as f64,
+                );
+            }
+        }
         MeteredFs { inner, clock, ops }
     }
 
@@ -66,12 +84,17 @@ impl<F: FileSystem> MeteredFs<F> {
 
     #[inline]
     fn time<T>(&self, idx: usize, f: impl FnOnce(&F) -> FsResult<T>) -> FsResult<T> {
+        // Sampled span root at the wrapper boundary: an engine below that
+        // opens its own op span (AtomFS does) nests under this one, so
+        // the trace shows wrapper-observed vs engine-observed latency.
+        let mut sp = Span::op_root(SpanKind::Op, OPS[idx]);
         let t0 = self.clock.now();
         let r = f(&self.inner);
         let m = &self.ops[idx];
         m.ns.record(self.clock.now().saturating_sub(t0));
         if r.is_err() {
             m.errors.inc();
+            sp.fail();
         }
         r
     }
@@ -201,6 +224,38 @@ mod tests {
         assert_eq!(snap.counter("fs_op_errors_total"), 1);
         // Failed ops still contribute a latency sample.
         assert_eq!(snap.hist_merged("fs_op_ns").count, 1);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "metrics compiled out")]
+    fn quantile_gauges_are_exported() {
+        let reg = Registry::new();
+        let fs = MeteredFs::new(SetFs::default(), &reg, ClockSource::monotonic());
+        for i in 0..50 {
+            fs.mknod(&format!("/f{i}")).unwrap();
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("fs_op_ns_quantile{op=\"mknod\",q=\"0.5\"}"));
+        assert!(text.contains("fs_op_ns_quantile{op=\"mknod\",q=\"0.99\"}"));
+        // The gauge reads the same merged series the histogram holds: its
+        // p99 must match the snapshot's.
+        let snap = reg.snapshot();
+        let p99 = snap.hist_merged("fs_op_ns").quantile(0.99) as f64;
+        let gauges: Vec<f64> = snap
+            .entries
+            .iter()
+            .filter(|e| {
+                e.name == "fs_op_ns_quantile"
+                    && e.labels.contains(&("op".into(), "mknod".into()))
+                    && e.labels.contains(&("q".into(), "0.99".into()))
+            })
+            .filter_map(|e| match &e.value {
+                atomfs_obs::SnapValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gauges.len(), 1);
+        assert_eq!(gauges[0], p99);
     }
 
     #[test]

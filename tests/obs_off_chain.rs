@@ -1,0 +1,112 @@
+//! The `obs-off` feature chain, end to end: this file compiles and runs
+//! under BOTH configurations. With observability on, driving the full
+//! stack records spans into the flight recorder and triggers retain
+//! black-box dumps; with `obs-off` forwarded down the crate chain
+//! (root → journal/vfs/crlh → obs), the same code paths must compile to
+//! nothing — zero-sized spans, an empty recorder, dumps that retain
+//! nothing — so the storage engine carries no tracing cost at all.
+
+use std::sync::Arc;
+
+use atomfs_journal::{BlockDevice, Disk, JournaledFs, ShardConfig};
+use atomfs_obs::{dump, flightrec, span, Span, SpanKind, TriggerCause};
+use atomfs_vfs::FileSystem;
+
+const OFF: bool = cfg!(feature = "obs-off");
+
+#[test]
+fn span_type_is_zero_sized_when_stripped() {
+    if OFF {
+        assert_eq!(std::mem::size_of::<Span>(), 0, "obs-off Span must be a ZST");
+        assert_eq!(span::sampling(), 0, "obs-off reports sampling disabled");
+        assert_eq!(flightrec::RING_COUNT, 0, "obs-off keeps no rings");
+        assert_eq!(dump::MAX_RETAINED, 0, "obs-off retains no dumps");
+    } else {
+        assert!(std::mem::size_of::<Span>() > 0);
+        assert!(span::sampling() >= 1);
+        assert!(flightrec::RING_COUNT > 0);
+    }
+}
+
+#[test]
+fn spans_record_iff_obs_is_on() {
+    let before = flightrec::recorded_total();
+    {
+        let mut root = Span::root(SpanKind::Op, "probe");
+        root.set_shard(3);
+        let mut child = Span::child(SpanKind::Lock, "probe_child");
+        child.retry();
+        drop(child);
+        drop(root);
+    }
+    let delta = flightrec::recorded_total() - before;
+    if OFF {
+        assert_eq!(delta, 0, "obs-off recorded a span");
+        assert!(flightrec::freeze().is_empty());
+        assert_eq!(span::render_spans_json(), "[]");
+    } else {
+        assert!(delta >= 2, "root + child should both record, got {delta}");
+        // Both ends of the parent link survived into the rings.
+        let frozen = flightrec::freeze();
+        let root = frozen
+            .iter()
+            .find(|s| s.label == "probe")
+            .expect("root span not in rings");
+        assert_eq!(root.shard, 3);
+        let child = frozen
+            .iter()
+            .find(|s| s.label == "probe_child")
+            .expect("child span not in rings");
+        assert_eq!(child.parent, root.id);
+        assert_eq!(child.retries, 1);
+    }
+}
+
+#[test]
+fn dumps_retain_iff_obs_is_on() {
+    let bb = dump::trigger(
+        TriggerCause::Manual {
+            detail: "chain probe".into(),
+        },
+        Some("{\"health\":\"Ok\"}".into()),
+    );
+    if OFF {
+        assert!(bb.spans.is_empty() && bb.active.is_empty());
+        assert!(dump::latest().is_none(), "obs-off retained a dump");
+        assert_eq!(dump::triggered_total(), 0);
+    } else {
+        assert!(dump::latest().is_some(), "trigger retained nothing");
+        assert!(dump::triggered_total() >= 1);
+        assert_eq!(bb.health.as_deref(), Some("{\"health\":\"Ok\"}"));
+        // Serializations stay well-formed either way.
+        assert!(bb.to_json().starts_with('{'));
+        assert!(bb.to_chrome_trace().starts_with("{\"traceEvents\":["));
+    }
+}
+
+/// The full stack compiles and runs identically under both builds; only
+/// the recorder's contents differ. `journal_sync` uses an always-on root
+/// span, so with obs on one sync is guaranteed to record regardless of
+/// op sampling — and with obs off the very same call records nothing.
+#[test]
+fn full_stack_sync_records_iff_obs_is_on() {
+    let disk = Arc::new(Disk::new());
+    let jfs = JournaledFs::create_sharded(
+        Arc::clone(&disk) as Arc<dyn BlockDevice>,
+        ShardConfig::default(),
+    );
+    let before = flightrec::recorded_total();
+    jfs.mknod("/chain-probe").unwrap();
+    jfs.write("/chain-probe", 0, b"x").unwrap();
+    jfs.sync().unwrap();
+    let delta = flightrec::recorded_total() - before;
+    if OFF {
+        assert_eq!(delta, 0, "obs-off stack recorded {delta} spans");
+    } else {
+        assert!(delta >= 1, "a sync should always record its root span");
+        assert!(
+            flightrec::freeze().iter().any(|s| s.label == "journal_sync"),
+            "journal_sync span missing from the rings"
+        );
+    }
+}
