@@ -1,0 +1,277 @@
+//! Sharded worker executor: bounded MPMC queues + worker threads.
+//!
+//! Connections are assigned to a shard (by connection-id hash) at accept
+//! time; every request a connection's reader admits is pushed onto its
+//! shard's bounded queue, and the shard's workers drain it. The point of
+//! sharding is head-of-line isolation: one slow operation (a huge
+//! readdir, a contended rename) can only delay requests queued on *its*
+//! shard — connections hashed elsewhere never queue behind it. Within a
+//! shard, multiple workers keep one stuck job from stalling its whole
+//! queue.
+//!
+//! The queue is intentionally bounded: when a shard is saturated,
+//! `submit` blocks the connection reader, which stops reading from the
+//! socket, which fills the kernel receive buffer, which backpressures
+//! the client through TCP flow control — bounded memory end to end with
+//! no explicit rejection path.
+//!
+//! Workers run each job under `catch_unwind`: a panicking job poisons
+//! nothing — its connection is torn down by the panic guard the server
+//! wraps around every job (closing the connection's whole FD table) and
+//! the worker thread moves on to the next job.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A unit of work: a closure executed on a shard worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Sizing knobs for [`Executor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Number of independent shards (queues).
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Jobs a shard queue holds before `submit` blocks the producer.
+    pub queue_cap: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            queue_cap: 256,
+        }
+    }
+}
+
+struct Shard {
+    queue: Mutex<VecDeque<Job>>,
+    can_push: Condvar,
+    can_pop: Condvar,
+    cap: usize,
+    shutdown: AtomicBool,
+}
+
+impl Shard {
+    /// Blocks while the queue is full. Returns `false` (dropping the
+    /// job) once the executor is shut down.
+    fn push(&self, job: Job) -> bool {
+        let mut q = self.queue.lock();
+        while q.len() >= self.cap {
+            if self.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            self.can_push.wait(&mut q);
+        }
+        if self.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        q.push_back(job);
+        drop(q);
+        self.can_pop.notify_one();
+        true
+    }
+
+    /// Blocks while the queue is empty. `None` means shut down *and*
+    /// drained — workers finish every admitted job before exiting.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(job) = q.pop_front() {
+                drop(q);
+                self.can_push.notify_one();
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            self.can_pop.wait(&mut q);
+        }
+    }
+}
+
+/// The sharded executor.
+pub struct Executor {
+    shards: Vec<Arc<Shard>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    panics: Arc<AtomicU64>,
+}
+
+impl Executor {
+    /// Start the worker threads.
+    pub fn start(cfg: ExecutorConfig) -> Self {
+        let shards: Vec<Arc<Shard>> = (0..cfg.shards.max(1))
+            .map(|_| {
+                Arc::new(Shard {
+                    queue: Mutex::new(VecDeque::with_capacity(cfg.queue_cap)),
+                    can_push: Condvar::new(),
+                    can_pop: Condvar::new(),
+                    cap: cfg.queue_cap.max(1),
+                    shutdown: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        let panics = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for (s, shard) in shards.iter().enumerate() {
+            for w in 0..cfg.workers_per_shard.max(1) {
+                let shard = Arc::clone(shard);
+                let panics = Arc::clone(&panics);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("afs-srv-{s}.{w}"))
+                        .spawn(move || {
+                            while let Some(job) = shard.pop() {
+                                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        })
+                        .expect("spawn worker"),
+                );
+            }
+        }
+        Executor {
+            shards,
+            workers: Mutex::new(workers),
+            panics,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queue `job` on `shard` (wrapped modulo the shard count),
+    /// blocking while that shard's queue is full. Returns `false` if
+    /// the executor is shutting down (the job is dropped).
+    pub fn submit(&self, shard: usize, job: Job) -> bool {
+        self.shards[shard % self.shards.len()].push(job)
+    }
+
+    /// Jobs that panicked (their connections were torn down).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting work, drain every queue, and join the workers.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.shutdown.store(true, Ordering::Release);
+            // Wake everyone: blocked producers give up, idle workers
+            // observe shutdown once the queue runs dry.
+            shard.can_push.notify_all();
+            shard.can_pop.notify_all();
+        }
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let ex = Executor::start(ExecutorConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            queue_cap: 8,
+        });
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..100 {
+            let done = Arc::clone(&done);
+            assert!(ex.submit(i, Box::new(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })));
+        }
+        ex.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn bounded_queue_blocks_then_drains() {
+        // One shard, one worker, tiny queue: a slow job at the head
+        // forces producers to block on the bound, and everything still
+        // completes.
+        let ex = Arc::new(Executor::start(ExecutorConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_cap: 2,
+        }));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            ex.submit(
+                0,
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    done.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        let mut producers = Vec::new();
+        for _ in 0..4 {
+            let ex = Arc::clone(&ex);
+            let done = Arc::clone(&done);
+            producers.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let done = Arc::clone(&done);
+                    ex.submit(
+                        0,
+                        Box::new(move || {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        ex.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 21);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let ex = Executor::start(ExecutorConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_cap: 8,
+        });
+        let done = Arc::new(AtomicUsize::new(0));
+        ex.submit(0, Box::new(|| panic!("job panic")));
+        {
+            let done = Arc::clone(&done);
+            ex.submit(
+                0,
+                Box::new(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        ex.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 1, "worker survived the panic");
+        assert_eq!(ex.panics(), 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let ex = Executor::start(ExecutorConfig::default());
+        ex.shutdown();
+        assert!(!ex.submit(0, Box::new(|| {})));
+    }
+}

@@ -1,0 +1,39 @@
+//! Pipelined multi-client serving layer for AtomFS.
+//!
+//! The paper's AtomFS is mounted through FUSE; this crate stands the
+//! equivalent serving boundary up over TCP so many client processes can
+//! drive one file system instance and latency can be measured where a
+//! client actually observes it. The pieces:
+//!
+//! * [`wire`] — framed binary RPC protocol (wire v1): tagged,
+//!   checksummed frames with every length clamped before allocation.
+//! * [`executor`] — sharded worker pool with bounded queues; requests
+//!   from unrelated connections never queue behind each other.
+//! * [`server`] — accept loop, per-connection FD tables on `vfs`,
+//!   bounded in-flight windows (backpressure), batched reply flushing
+//!   through a [`pool::BufPool`] (zero-allocation steady state), and a
+//!   `/metrics` + `/spans` HTTP scrape path on the same listener.
+//! * [`client`] — pipelined [`client::RpcClient`] and the
+//!   [`client::RemoteFs`] adapter that makes a remote server look like
+//!   any other [`FileSystem`](atomfs_vfs::FileSystem).
+//!
+//! Because the server is generic over `FileSystem`, serving a traced
+//! AtomFS (`AtomFs::traced(ShardedSink)`) yields a complete operation
+//! trace the CRL-H checker validates end to end — including the closes
+//! forced by disconnect teardown.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod executor;
+pub mod pool;
+pub mod server;
+pub mod wire;
+
+pub use client::{Pending, RemoteFs, RpcClient};
+pub use executor::{Executor, ExecutorConfig};
+pub use pool::BufPool;
+pub use server::{serve, serve_on, Server, ServerConfig, StatsSnapshot};
+pub use wire::{
+    Request, Response, FLAG_APPEND, FLAG_CREATE, FLAG_READ, FLAG_TRUNC, FLAG_WRITE, MAX_IO_LEN,
+};

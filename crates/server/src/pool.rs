@@ -1,0 +1,109 @@
+//! Pooled byte buffers for the zero-allocation reply path.
+//!
+//! Request frames, reply frames, and flush batches all pass through
+//! [`BufPool`]: a buffer is taken, filled, handed between threads, and
+//! eventually returned with its capacity intact. In steady state every
+//! `get` is a recycle — the pool's `misses` counter stops moving and the
+//! serving hot path performs no heap allocation at all (asserted by the
+//! counting-allocator test in `tests/alloc_steady.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Buffers larger than this are dropped on `put` instead of pooled, so
+/// one pathological response cannot pin megabytes forever.
+const MAX_RETAIN_CAP: usize = 4 << 20;
+
+/// A bounded pool of reusable `Vec<u8>` buffers.
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    gets: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufPool {
+    /// A pool retaining at most `max_pooled` idle buffers.
+    pub fn new(max_pooled: usize) -> Self {
+        BufPool {
+            free: Mutex::new(Vec::with_capacity(max_pooled)),
+            max_pooled,
+            gets: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Take a cleared buffer, recycling a pooled one when available.
+    pub fn get(&self) -> Vec<u8> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(buf) = self.free.lock().pop() {
+            return buf;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+
+    /// Return a buffer to the pool. The buffer is cleared but keeps its
+    /// capacity; oversized or surplus buffers are dropped.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_RETAIN_CAP {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.max_pooled {
+            free.push(buf);
+        }
+    }
+
+    /// Total `get` calls.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// `get` calls that had to allocate a fresh buffer.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Idle buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity() {
+        let pool = BufPool::new(4);
+        let mut b = pool.get();
+        b.extend_from_slice(&[0u8; 1024]);
+        let cap = b.capacity();
+        pool.put(b);
+        let b2 = pool.get();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap);
+        assert_eq!(pool.misses(), 1, "second get must recycle");
+        assert_eq!(pool.gets(), 2);
+    }
+
+    #[test]
+    fn bounded_retention() {
+        let pool = BufPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn oversized_buffers_dropped() {
+        let pool = BufPool::new(4);
+        pool.put(Vec::with_capacity(MAX_RETAIN_CAP + 1));
+        assert_eq!(pool.pooled(), 0);
+    }
+}

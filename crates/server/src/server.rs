@@ -1,0 +1,692 @@
+//! The TCP server: accept loop, per-connection readers, reply flushing.
+//!
+//! One OS thread per connection *reads* frames (cheap, mostly parked in
+//! `read_exact`); execution happens on the sharded [`Executor`], so a
+//! slow operation never stalls unrelated connections. Each connection
+//! carries its own [`FdTable`] layered on the shared [`FileSystem`] —
+//! exactly the paper's FUSE split, with the network connection standing
+//! in for the FUSE session.
+//!
+//! **Pipelining.** A client may keep many tagged requests in flight on
+//! one connection; responses complete in whatever order the executor
+//! finishes them and are matched by tag. Per-connection order is only
+//! guaranteed for requests a client serializes itself (await response
+//! before sending the next); the specification boundary is the
+//! linearizability of each operation, not connection FIFO — the same
+//! license BilbyFs's sequential specification gives its asynchronous
+//! implementation.
+//!
+//! **Backpressure.** Each connection has a bounded in-flight window. The
+//! reader acquires a slot before admitting a request and the flusher
+//! returns slots as replies hit the socket; a full window parks the
+//! reader, the kernel receive buffer fills, and TCP flow control pushes
+//! back to the client. Memory per connection is bounded by
+//! `window × MAX_PAYLOAD` with no explicit rejection path.
+//!
+//! **Reply batching.** Workers enqueue encoded replies on the
+//! connection's outbox; whichever worker wins the flusher flag drains
+//! the outbox and writes every queued frame with one `write_all`
+//! (writev-style coalescing via a pooled gather buffer). All buffers —
+//! request frames, reply frames, gather buffers — recycle through the
+//! [`BufPool`], so the steady-state reply path allocates nothing.
+//!
+//! **HTTP on the same listener.** A connection whose first four bytes
+//! are `"GET "` is served as a one-shot HTTP scrape: `/metrics` renders
+//! the registry's Prometheus exposition, `/spans` the flight-recorder
+//! span JSON. Anything else on that connection path gets a 404.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use atomfs_obs::{FnKind, Registry};
+use atomfs_vfs::{FdTable, FileSystem, FsError, OpenOptions};
+use parking_lot::{Condvar, Mutex};
+
+use crate::executor::{Executor, ExecutorConfig};
+use crate::pool::BufPool;
+use crate::wire::{
+    self, HDR_LEN, FLAG_APPEND, FLAG_CREATE, FLAG_READ, FLAG_TRUNC, FLAG_WRITE, MAX_IO_LEN,
+    REQ_MAGIC,
+};
+
+/// Server sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Executor shape (shards, workers, queue bound).
+    pub executor: ExecutorConfig,
+    /// Per-connection in-flight request window (backpressure bound).
+    pub window: usize,
+    /// Buffers retained by the shared pool.
+    pub pool_bufs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            executor: ExecutorConfig::default(),
+            window: 64,
+            pool_bufs: 1024,
+        }
+    }
+}
+
+/// Monotonic counters describing a server's lifetime so far.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted (RPC and HTTP alike).
+    pub conns_opened: AtomicU64,
+    /// Connections fully torn down.
+    pub conns_closed: AtomicU64,
+    /// Request frames admitted past the window.
+    pub requests: AtomicU64,
+    /// Reply frames handed to the kernel.
+    pub replies_flushed: AtomicU64,
+    /// `write_all` batches (each covers ≥ 1 reply frame).
+    pub flush_batches: AtomicU64,
+    /// Frames that failed envelope or payload decoding (each one kills
+    /// its connection — framing cannot resync).
+    pub malformed: AtomicU64,
+    /// Descriptors force-closed by disconnect/panic teardown.
+    pub fds_closed_on_teardown: AtomicU64,
+    /// One-shot HTTP scrapes served on the listener.
+    pub http_requests: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`] plus executor health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub conns_opened: u64,
+    pub conns_closed: u64,
+    pub requests: u64,
+    pub replies_flushed: u64,
+    pub flush_batches: u64,
+    pub malformed: u64,
+    pub fds_closed_on_teardown: u64,
+    pub http_requests: u64,
+    pub worker_panics: u64,
+}
+
+/// Bounded in-flight window; `acquire` parks the connection reader when
+/// the pipeline is full.
+struct Window {
+    inflight: Mutex<usize>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl Window {
+    fn acquire(&self, dead: &AtomicBool) -> bool {
+        let mut n = self.inflight.lock();
+        while *n >= self.cap {
+            if dead.load(Ordering::Acquire) {
+                return false;
+            }
+            self.cv.wait(&mut n);
+        }
+        if dead.load(Ordering::Acquire) {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    fn release(&self, k: usize) {
+        let mut n = self.inflight.lock();
+        *n = n.saturating_sub(k);
+        drop(n);
+        self.cv.notify_all();
+    }
+
+    fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+struct ConnState<F: FileSystem> {
+    id: u64,
+    shard: usize,
+    stream: TcpStream,
+    writer: Mutex<TcpStream>,
+    outbox: Mutex<Vec<Vec<u8>>>,
+    flushing: AtomicBool,
+    window: Window,
+    fds: FdTable<F>,
+    dead: AtomicBool,
+}
+
+struct Shared<F: FileSystem> {
+    fs: Arc<F>,
+    pool: BufPool,
+    stats: Arc<ServerStats>,
+    conns: Mutex<HashMap<u64, Arc<ConnState<F>>>>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl<F: FileSystem + 'static> Shared<F> {
+    /// Idempotently kill a connection: close every descriptor in its FD
+    /// table, sever the socket (unblocking its reader), wake anything
+    /// parked on its window, and recycle queued replies. Runs on
+    /// disconnect, malformed frames, write errors, worker panics, and
+    /// server shutdown — all paths converge here, so "disconnect closes
+    /// every handle" holds no matter which end died first.
+    fn teardown(&self, conn: &Arc<ConnState<F>>) {
+        if conn.dead.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let closed = conn.fds.close_all();
+        self.stats
+            .fds_closed_on_teardown
+            .fetch_add(closed as u64, Ordering::Relaxed);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        conn.window.wake_all();
+        for buf in conn.outbox.lock().drain(..) {
+            self.pool.put(buf);
+        }
+        self.conns.lock().remove(&conn.id);
+        self.stats.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queue one encoded reply and batch-flush the outbox. Whichever
+    /// worker wins `flushing` writes *everything* queued at that point
+    /// in one syscall; losers just leave their frame behind.
+    fn enqueue_and_flush(&self, conn: &Arc<ConnState<F>>, reply: Vec<u8>) {
+        conn.outbox.lock().push(reply);
+        loop {
+            if conn.flushing.swap(true, Ordering::AcqRel) {
+                return; // active flusher will pick our frame up
+            }
+            let batch = std::mem::take(&mut *conn.outbox.lock());
+            if batch.is_empty() {
+                conn.flushing.store(false, Ordering::Release);
+                // Recheck: a frame may have been queued between the take
+                // and the flag reset by a worker that saw us flushing.
+                if conn.outbox.lock().is_empty() {
+                    return;
+                }
+                continue;
+            }
+            let frames = batch.len();
+            let res = if frames == 1 {
+                let res = conn.writer.lock().write_all(&batch[0]);
+                self.pool.put(batch.into_iter().next().expect("one"));
+                res
+            } else {
+                let mut gather = self.pool.get();
+                for b in &batch {
+                    gather.extend_from_slice(b);
+                }
+                for b in batch {
+                    self.pool.put(b);
+                }
+                let res = conn.writer.lock().write_all(&gather);
+                self.pool.put(gather);
+                res
+            };
+            conn.window.release(frames);
+            self.stats.flush_batches.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .replies_flushed
+                .fetch_add(frames as u64, Ordering::Relaxed);
+            if res.is_err() {
+                self.teardown(conn);
+                return;
+            }
+            conn.flushing.store(false, Ordering::Release);
+            if conn.outbox.lock().is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Decode, execute, and answer one admitted request frame.
+    fn execute(&self, conn: &Arc<ConnState<F>>, frame: Vec<u8>) {
+        if conn.dead.load(Ordering::Acquire) {
+            self.pool.put(frame);
+            return;
+        }
+        let mut reply = self.pool.get();
+        let ok = match wire::decode_request_frame(&frame) {
+            None => {
+                self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Some((tag, req, _)) => {
+                self.dispatch(conn, tag, req, &mut reply);
+                true
+            }
+        };
+        self.pool.put(frame);
+        if !ok {
+            self.pool.put(reply);
+            self.teardown(conn);
+            return;
+        }
+        self.enqueue_and_flush(conn, reply);
+    }
+
+    fn dispatch(&self, conn: &Arc<ConnState<F>>, tag: u64, req: wire::ReqView<'_>, out: &mut Vec<u8>) {
+        use wire::ReqView as R;
+        let fs = &*self.fs;
+        match req {
+            R::Mknod { path } => unit(out, tag, fs.mknod(path)),
+            R::Mkdir { path } => unit(out, tag, fs.mkdir(path)),
+            R::Unlink { path } => unit(out, tag, fs.unlink(path)),
+            R::Rmdir { path } => unit(out, tag, fs.rmdir(path)),
+            R::Rename { src, dst } => unit(out, tag, fs.rename(src, dst)),
+            R::Truncate { path, size } => unit(out, tag, fs.truncate(path, size)),
+            R::Sync => unit(out, tag, fs.sync()),
+            R::Stat { path } => match fs.stat(path) {
+                Ok(meta) => wire::encode_response_stat(out, tag, &meta),
+                Err(e) => wire::encode_response_err(out, tag, e),
+            },
+            R::Readdir { path } => match fs.readdir(path) {
+                Ok(names) => {
+                    if !wire::encode_response_names(out, tag, &names) {
+                        wire::encode_response_err(out, tag, FsError::FileTooBig);
+                    }
+                }
+                Err(e) => wire::encode_response_err(out, tag, e),
+            },
+            R::Read { path, offset, len } => {
+                let mut data = self.pool.get();
+                data.resize((len as usize).min(MAX_IO_LEN), 0);
+                match fs.read(path, offset, &mut data) {
+                    Ok(n) => wire::encode_response_data(out, tag, &data[..n]),
+                    Err(e) => wire::encode_response_err(out, tag, e),
+                }
+                self.pool.put(data);
+            }
+            R::Write { path, offset, data } => match fs.write(path, offset, data) {
+                Ok(n) => wire::encode_response_len(out, tag, n as u64),
+                Err(e) => wire::encode_response_err(out, tag, e),
+            },
+            R::Open { path, flags } => {
+                let opts = OpenOptions {
+                    read: flags & FLAG_READ != 0,
+                    write: flags & FLAG_WRITE != 0,
+                    create: flags & FLAG_CREATE != 0,
+                    truncate: flags & FLAG_TRUNC != 0,
+                    append: flags & FLAG_APPEND != 0,
+                };
+                match conn.fds.open(path, opts) {
+                    Ok(fd) => wire::encode_response_fd(out, tag, fd.0),
+                    Err(e) => wire::encode_response_err(out, tag, e),
+                }
+            }
+            R::Close { fd } => unit(out, tag, conn.fds.close(atomfs_vfs::Fd(fd))),
+            R::PRead { fd, offset, len } => {
+                let mut data = self.pool.get();
+                data.resize((len as usize).min(MAX_IO_LEN), 0);
+                match conn.fds.read_at(atomfs_vfs::Fd(fd), offset, &mut data) {
+                    Ok(n) => wire::encode_response_data(out, tag, &data[..n]),
+                    Err(e) => wire::encode_response_err(out, tag, e),
+                }
+                self.pool.put(data);
+            }
+            R::PWrite { fd, offset, data } => {
+                match conn.fds.write_at(atomfs_vfs::Fd(fd), offset, data) {
+                    Ok(n) => wire::encode_response_len(out, tag, n as u64),
+                    Err(e) => wire::encode_response_err(out, tag, e),
+                }
+            }
+        }
+    }
+
+    /// One-shot HTTP scrape on the RPC listener.
+    fn serve_http(&self, mut stream: TcpStream) {
+        self.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+        // "GET " is already consumed; read the rest of the request head
+        // (bounded — scrape requests are tiny).
+        let mut head = Vec::with_capacity(256);
+        let mut byte = [0u8; 1];
+        while head.len() < 4096 && !head.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte) {
+                Ok(1) => head.push(byte[0]),
+                _ => break,
+            }
+        }
+        let target = head
+            .split(|&b| b == b' ')
+            .next()
+            .and_then(|t| std::str::from_utf8(t).ok())
+            .unwrap_or("");
+        let (status, ctype, body) = match target {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                match &self.registry {
+                    Some(reg) => reg.render_prometheus(),
+                    None => String::new(),
+                },
+            ),
+            "/spans" => ("200 OK", "application/json", atomfs_obs::render_spans_json()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        };
+        let _ = stream.write_all(
+            format!(
+                "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn unit(out: &mut Vec<u8>, tag: u64, r: Result<(), FsError>) {
+    match r {
+        Ok(()) => wire::encode_response_unit(out, tag),
+        Err(e) => wire::encode_response_err(out, tag, e),
+    }
+}
+
+/// Tears the connection down if the wrapped job panics mid-operation, so
+/// a panicked worker still closes every handle in the connection's FD
+/// table. Disarmed on orderly completion.
+struct PanicGuard<F: FileSystem + 'static> {
+    shared: Arc<Shared<F>>,
+    conn: Arc<ConnState<F>>,
+    armed: bool,
+}
+
+impl<F: FileSystem + 'static> Drop for PanicGuard<F> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared.teardown(&self.conn);
+        }
+    }
+}
+
+/// A running server; dropping it does *not* stop it — call
+/// [`Server::shutdown`].
+pub struct Server<F: FileSystem + 'static> {
+    shared: Arc<Shared<F>>,
+    executor: Arc<Executor>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Bind an ephemeral loopback port and serve `fs`. When a
+/// `registry` is given, `/metrics` scrapes it and the server registers
+/// its own gauges (`rpc_conns_open`, `rpc_requests_total`, ...) there.
+pub fn serve<F: FileSystem + 'static>(
+    fs: Arc<F>,
+    registry: Option<Arc<Registry>>,
+    cfg: ServerConfig,
+) -> std::io::Result<Server<F>> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    serve_on(listener, fs, registry, cfg)
+}
+
+/// Like [`serve`], over an already-bound listener.
+pub fn serve_on<F: FileSystem + 'static>(
+    listener: TcpListener,
+    fs: Arc<F>,
+    registry: Option<Arc<Registry>>,
+    cfg: ServerConfig,
+) -> std::io::Result<Server<F>> {
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ServerStats::default());
+    if let Some(reg) = &registry {
+        register_stat_fns(reg, &stats);
+    }
+    let shared = Arc::new(Shared {
+        fs,
+        pool: BufPool::new(cfg.pool_bufs),
+        stats,
+        conns: Mutex::new(HashMap::new()),
+        registry,
+    });
+    let executor = Arc::new(Executor::start(cfg.executor));
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let executor = Arc::clone(&executor);
+        let stop = Arc::clone(&stop);
+        let readers = Arc::clone(&readers);
+        let window = cfg.window.max(1);
+        std::thread::Builder::new()
+            .name("afs-srv-accept".into())
+            .spawn(move || {
+                let mut next_id = 0u64;
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    let id = next_id;
+                    next_id += 1;
+                    // Fibonacci-hash the connection id over the shards so
+                    // sequential accepts spread instead of clustering.
+                    let shard =
+                        (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % executor.shards();
+                    let Ok(wstream) = stream.try_clone() else {
+                        continue;
+                    };
+                    let conn = Arc::new(ConnState {
+                        id,
+                        shard,
+                        stream,
+                        writer: Mutex::new(wstream),
+                        outbox: Mutex::new(Vec::new()),
+                        flushing: AtomicBool::new(false),
+                        window: Window {
+                            inflight: Mutex::new(0),
+                            cv: Condvar::new(),
+                            cap: window,
+                        },
+                        fds: FdTable::new(Arc::clone(&shared.fs)),
+                        dead: AtomicBool::new(false),
+                    });
+                    shared.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
+                    shared.conns.lock().insert(id, Arc::clone(&conn));
+                    let shared = Arc::clone(&shared);
+                    let executor = Arc::clone(&executor);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("afs-conn-{id}"))
+                        .spawn(move || reader_loop(shared, executor, conn))
+                        .expect("spawn reader");
+                    let mut rs = readers.lock();
+                    rs.retain(|h| !h.is_finished()); // reap exited readers
+                    rs.push(handle);
+                }
+            })?
+    };
+
+    Ok(Server {
+        shared,
+        executor,
+        addr,
+        stop,
+        accept_thread: Mutex::new(Some(accept)),
+        readers,
+    })
+}
+
+fn register_stat_fns(reg: &Registry, stats: &Arc<ServerStats>) {
+    let fns: [(&str, &str, FnKind, fn(&ServerStats) -> u64); 6] = [
+        (
+            "rpc_conns_open",
+            "Connections currently alive.",
+            FnKind::Gauge,
+            |s| {
+                s.conns_opened
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(s.conns_closed.load(Ordering::Relaxed))
+            },
+        ),
+        (
+            "rpc_requests_total",
+            "Request frames admitted.",
+            FnKind::Counter,
+            |s| s.requests.load(Ordering::Relaxed),
+        ),
+        (
+            "rpc_replies_flushed_total",
+            "Reply frames written to sockets.",
+            FnKind::Counter,
+            |s| s.replies_flushed.load(Ordering::Relaxed),
+        ),
+        (
+            "rpc_flush_batches_total",
+            "Batched reply writes (each covers >= 1 frame).",
+            FnKind::Counter,
+            |s| s.flush_batches.load(Ordering::Relaxed),
+        ),
+        (
+            "rpc_malformed_total",
+            "Frames rejected by strict decoding.",
+            FnKind::Counter,
+            |s| s.malformed.load(Ordering::Relaxed),
+        ),
+        (
+            "rpc_fds_torn_down_total",
+            "Descriptors force-closed by disconnect cleanup.",
+            FnKind::Counter,
+            |s| s.fds_closed_on_teardown.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, kind, f) in fns {
+        let s = Arc::clone(stats);
+        reg.register_fn(name, &[], help, kind, move || f(&s) as f64);
+    }
+}
+
+fn reader_loop<F: FileSystem + 'static>(
+    shared: Arc<Shared<F>>,
+    executor: Arc<Executor>,
+    conn: Arc<ConnState<F>>,
+) {
+    let mut rstream = match conn.stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.teardown(&conn);
+            return;
+        }
+    };
+    // Sniff the first four bytes: "GET " means this connection is a
+    // one-shot HTTP scrape, anything else must open an RPC frame.
+    let mut first = [0u8; 4];
+    if rstream.read_exact(&mut first).is_err() {
+        shared.teardown(&conn);
+        return;
+    }
+    if &first == b"GET " {
+        shared.serve_http(rstream);
+        shared.teardown(&conn);
+        return;
+    }
+    let mut hdr = [0u8; HDR_LEN];
+    let mut sniffed = Some(first);
+    loop {
+        // Assemble the fixed header (reusing the sniffed bytes once).
+        let ok = match sniffed.take() {
+            Some(four) => {
+                hdr[..4].copy_from_slice(&four);
+                rstream.read_exact(&mut hdr[4..]).is_ok()
+            }
+            None => rstream.read_exact(&mut hdr).is_ok(),
+        };
+        if !ok {
+            break; // EOF or error: client is gone
+        }
+        let Some((_, total)) = wire::frame_size_hint(&hdr, REQ_MAGIC) else {
+            // Bad magic/version or a forged length: framing is
+            // unrecoverable on this connection.
+            shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            break;
+        };
+        // Backpressure: park until the pipeline has room (or the
+        // connection died under us).
+        if !conn.window.acquire(&conn.dead) {
+            break;
+        }
+        let mut frame = shared.pool.get();
+        frame.extend_from_slice(&hdr);
+        frame.resize(total, 0);
+        if rstream.read_exact(&mut frame[HDR_LEN..]).is_err() {
+            shared.pool.put(frame);
+            break;
+        }
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let job_shared = Arc::clone(&shared);
+        let job_conn = Arc::clone(&conn);
+        let submitted = executor.submit(
+            conn.shard,
+            Box::new(move || {
+                let mut guard = PanicGuard {
+                    shared: Arc::clone(&job_shared),
+                    conn: Arc::clone(&job_conn),
+                    armed: true,
+                };
+                job_shared.execute(&job_conn, frame);
+                guard.armed = false;
+            }),
+        );
+        if !submitted {
+            break; // executor shutting down
+        }
+    }
+    shared.teardown(&conn);
+}
+
+impl<F: FileSystem + 'static> Server<F> {
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            conns_opened: s.conns_opened.load(Ordering::Relaxed),
+            conns_closed: s.conns_closed.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            replies_flushed: s.replies_flushed.load(Ordering::Relaxed),
+            flush_batches: s.flush_batches.load(Ordering::Relaxed),
+            malformed: s.malformed.load(Ordering::Relaxed),
+            fds_closed_on_teardown: s.fds_closed_on_teardown.load(Ordering::Relaxed),
+            http_requests: s.http_requests.load(Ordering::Relaxed),
+            worker_panics: self.executor.panics(),
+        }
+    }
+
+    /// Connections currently alive.
+    pub fn open_conns(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+
+    /// Stop accepting, tear down every connection (closing its FD
+    /// table), drain the executor, and join all threads. Every admitted
+    /// request has either executed or been dropped with its connection
+    /// by the time this returns — so a trace sink attached to the
+    /// served file system is quiescent and safe to drain.
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = self.shared.conns.lock().values().cloned().collect();
+        for conn in conns {
+            self.shared.teardown(&conn);
+        }
+        for h in self.readers.lock().drain(..) {
+            let _ = h.join();
+        }
+        self.executor.shutdown();
+        self.stats()
+    }
+}

@@ -1,0 +1,261 @@
+//! Property-based tests on the RPC wire protocol, mirroring the
+//! journal's `wire_props` discipline: arbitrary bytes, truncations, and
+//! bit-flipped encodings of valid frames must never panic, never decode
+//! to a different request/response than was encoded, and never let a
+//! forged length or count field drive a huge allocation. The server
+//! treats any decode failure as connection poison, so these properties
+//! are exactly the boundary between "malicious client" and "memory
+//! safety plus bounded allocation".
+
+use atomfs_server::wire::{
+    decode_request_frame, decode_response_frame, encode_request_frame, encode_response,
+    frame_size_hint, Request, Response, FLAG_MASK, HDR_LEN, MAX_PAYLOAD, REQ_MAGIC, RSP_MAGIC,
+};
+use atomfs_vfs::{FsError, Metadata};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn path_from(bytes: Vec<u8>) -> String {
+    let mut p = String::from("/");
+    p.extend(bytes.iter().map(|b| char::from(b'a' + b % 26)));
+    p
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let path = || vec(any::<u8>(), 0..24).prop_map(path_from);
+    prop_oneof![
+        path().prop_map(|path| Request::Mknod { path }),
+        path().prop_map(|path| Request::Mkdir { path }),
+        path().prop_map(|path| Request::Unlink { path }),
+        path().prop_map(|path| Request::Rmdir { path }),
+        (path(), path()).prop_map(|(src, dst)| Request::Rename { src, dst }),
+        path().prop_map(|path| Request::Stat { path }),
+        path().prop_map(|path| Request::Readdir { path }),
+        (path(), any::<u64>(), 0u32..100_000).prop_map(|(path, offset, len)| Request::Read {
+            path,
+            offset,
+            len
+        }),
+        (path(), any::<u64>(), vec(any::<u8>(), 0..64)).prop_map(|(path, offset, data)| {
+            Request::Write { path, offset, data }
+        }),
+        (path(), any::<u64>()).prop_map(|(path, size)| Request::Truncate { path, size }),
+        (0u64..2).prop_map(|_| Request::Sync),
+        (path(), any::<u8>()).prop_map(|(path, flags)| Request::Open {
+            path,
+            flags: flags & FLAG_MASK,
+        }),
+        any::<u32>().prop_map(|fd| Request::Close { fd }),
+        (any::<u32>(), any::<u64>(), 0u32..100_000).prop_map(|(fd, offset, len)| {
+            Request::PRead { fd, offset, len }
+        }),
+        (any::<u32>(), any::<u64>(), vec(any::<u8>(), 0..64)).prop_map(|(fd, offset, data)| {
+            Request::PWrite { fd, offset, data }
+        }),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u64..2).prop_map(|_| Response::Unit),
+        any::<u32>().prop_map(Response::Fd),
+        any::<u64>().prop_map(Response::Len),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<u32>()).prop_map(
+            |(ino, size, dir, extra)| {
+                Response::Stat(if dir {
+                    Metadata::dir(ino, size, extra % 100)
+                } else {
+                    Metadata::file(ino, size)
+                })
+            }
+        ),
+        vec(vec(any::<u8>(), 0..12), 0..8).prop_map(|names| {
+            Response::Names(names.into_iter().map(path_from).collect())
+        }),
+        vec(any::<u8>(), 0..80).prop_map(Response::Data),
+        (0u64..15).prop_map(|i| {
+            let all = [
+                FsError::NotFound,
+                FsError::Exists,
+                FsError::NotDir,
+                FsError::IsDir,
+                FsError::NotEmpty,
+                FsError::InvalidArgument,
+                FsError::NameTooLong,
+                FsError::NoSpace,
+                FsError::FileTooBig,
+                FsError::BadFd,
+                FsError::PermissionDenied,
+                FsError::Busy,
+                FsError::ReadOnly,
+                FsError::Unsupported,
+                FsError::Io,
+            ];
+            Response::Err(all[i as usize])
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(buf in vec(any::<u8>(), 0..300)) {
+        if let Some((_, _, total)) = decode_request_frame(&buf) {
+            prop_assert!(total <= buf.len());
+        }
+        if let Some((_, _, total)) = decode_response_frame(&buf) {
+            prop_assert!(total <= buf.len());
+        }
+        if let Some((plen, total)) = frame_size_hint(&buf, REQ_MAGIC) {
+            prop_assert!(plen <= MAX_PAYLOAD);
+            prop_assert_eq!(total, HDR_LEN + plen + 8);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_with_magic_prefix_never_panic(tail in vec(any::<u8>(), 0..300)) {
+        // Force the interesting path: a valid magic + version over garbage.
+        let mut buf = REQ_MAGIC.to_le_bytes().to_vec();
+        buf.push(1); // VERSION
+        buf.extend_from_slice(&tail);
+        if let Some((_, _, total)) = decode_request_frame(&buf) {
+            prop_assert!(total <= buf.len());
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_is_exact(req in request_strategy(), tag in any::<u64>()) {
+        let mut buf = Vec::new();
+        encode_request_frame(&mut buf, tag, &req.view());
+        let (t, view, total) = decode_request_frame(&buf).expect("valid frame decodes");
+        prop_assert_eq!(t, tag);
+        prop_assert_eq!(view.to_owned(), req);
+        prop_assert_eq!(total, buf.len());
+    }
+
+    #[test]
+    fn response_roundtrip_is_exact(rsp in response_strategy(), tag in any::<u64>()) {
+        let mut buf = Vec::new();
+        encode_response(&mut buf, tag, &rsp);
+        let (t, got, total) = decode_response_frame(&buf).expect("valid frame decodes");
+        prop_assert_eq!(t, tag);
+        prop_assert_eq!(got, rsp);
+        prop_assert_eq!(total, buf.len());
+    }
+
+    #[test]
+    fn request_truncations_never_decode(req in request_strategy(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        encode_request_frame(&mut buf, 9, &req.view());
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assert!(cut < buf.len());
+        prop_assert!(
+            decode_request_frame(&buf[..cut]).is_none(),
+            "truncated frame decoded (cut {} of {})", cut, buf.len()
+        );
+    }
+
+    #[test]
+    fn response_truncations_never_decode(rsp in response_strategy(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        encode_response(&mut buf, 9, &rsp);
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assert!(cut < buf.len());
+        prop_assert!(decode_response_frame(&buf[..cut]).is_none());
+    }
+
+    #[test]
+    fn request_bit_flips_never_forge(
+        req in request_strategy(),
+        tag in any::<u64>(),
+        flips in vec((any::<u16>(), 0u8..8), 1..5)
+    ) {
+        let mut buf = Vec::new();
+        encode_request_frame(&mut buf, tag, &req.view());
+        let mut bad = buf.clone();
+        for (pos, bit) in &flips {
+            let byte = *pos as usize % bad.len();
+            bad[byte] ^= 1 << bit;
+        }
+        match decode_request_frame(&bad) {
+            None => {}
+            Some((t, view, _)) => {
+                // Flips may cancel back to the original bytes; anything
+                // else surviving the checksum would be a forgery.
+                prop_assert_eq!(&bad, &buf, "corrupted frame decoded");
+                prop_assert_eq!(t, tag);
+                prop_assert_eq!(view.to_owned(), req);
+            }
+        }
+    }
+
+    #[test]
+    fn response_bit_flips_never_forge(
+        rsp in response_strategy(),
+        tag in any::<u64>(),
+        flips in vec((any::<u16>(), 0u8..8), 1..5)
+    ) {
+        let mut buf = Vec::new();
+        encode_response(&mut buf, tag, &rsp);
+        let mut bad = buf.clone();
+        for (pos, bit) in &flips {
+            let byte = *pos as usize % bad.len();
+            bad[byte] ^= 1 << bit;
+        }
+        match decode_response_frame(&bad) {
+            None => {}
+            Some((t, got, _)) => {
+                prop_assert_eq!(&bad, &buf, "corrupted frame decoded");
+                prop_assert_eq!(t, tag);
+                prop_assert_eq!(got, rsp);
+            }
+        }
+    }
+
+    #[test]
+    fn forged_length_fields_are_clamped(
+        req in request_strategy(),
+        forged_len in (MAX_PAYLOAD as u32 + 1)..u32::MAX
+    ) {
+        // Patch payload_len to an absurd value: both the streaming size
+        // hint and the full decoder must reject it before any allocation
+        // could be sized from it.
+        let mut buf = Vec::new();
+        encode_request_frame(&mut buf, 3, &req.view());
+        buf[HDR_LEN - 4..HDR_LEN].copy_from_slice(&forged_len.to_le_bytes());
+        prop_assert!(frame_size_hint(&buf, REQ_MAGIC).is_none());
+        prop_assert!(decode_request_frame(&buf).is_none());
+    }
+
+    #[test]
+    fn forged_names_count_is_clamped(count in 64u32..u32::MAX, tag in any::<u64>()) {
+        // A names response whose count field claims more entries than
+        // its payload could hold must be rejected without allocating a
+        // `count`-sized Vec. Build it by patching a small valid frame's
+        // count in place and re-deriving nothing: the checksum then
+        // mismatches, which is also a rejection — so additionally check
+        // the dedicated guard via a frame whose checksum is fixed up.
+        let names: Vec<String> = (0..4).map(|i| format!("n{i}")).collect();
+        let mut buf = Vec::new();
+        encode_response(&mut buf, tag, &Response::Names(names));
+        buf[HDR_LEN..HDR_LEN + 4].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(decode_response_frame(&buf).is_none());
+        // Fix the checksum so only the count guard can reject it.
+        let body_end = buf.len() - 8;
+        let sum = atomfs_server::wire::checksum(&buf[..body_end]);
+        buf[body_end..].copy_from_slice(&sum.to_le_bytes());
+        prop_assert!(decode_response_frame(&buf).is_none());
+    }
+
+    #[test]
+    fn size_hint_agrees_with_decoder(req in request_strategy(), tag in any::<u64>()) {
+        let mut buf = Vec::new();
+        encode_request_frame(&mut buf, tag, &req.view());
+        let (plen, total) = frame_size_hint(&buf, REQ_MAGIC).expect("hint on valid frame");
+        prop_assert_eq!(total, buf.len());
+        prop_assert_eq!(plen, buf.len() - HDR_LEN - 8);
+        // The hint must reject the wrong direction.
+        prop_assert!(frame_size_hint(&buf, RSP_MAGIC).is_none());
+    }
+}

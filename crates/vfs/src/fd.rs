@@ -174,6 +174,17 @@ impl<F: FileSystem> FdTable<F> {
         }
     }
 
+    /// Close every open descriptor at once, returning how many were
+    /// open. This is the disconnect-teardown path for a serving layer
+    /// that owns one table per connection: when the connection dies, all
+    /// of its handles must be released regardless of client cooperation.
+    pub fn close_all(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let n = inner.open.len();
+        inner.open.clear();
+        n
+    }
+
     /// The path a descriptor currently resolves to.
     pub fn path_of(&self, fd: Fd) -> FsResult<String> {
         let inner = self.inner.lock();
@@ -434,6 +445,18 @@ pub(crate) mod tests {
         t.fs().unlink("/f").unwrap();
         let mut buf = [0u8; 1];
         assert_eq!(t.read(fd, &mut buf), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn close_all_drops_every_descriptor() {
+        let t = table();
+        t.open("/a", OpenOptions::read_write()).unwrap();
+        t.open("/a", OpenOptions::read_only()).unwrap();
+        let fd = t.open("/a", OpenOptions::read_only()).unwrap();
+        assert_eq!(t.close_all(), 3);
+        assert_eq!(t.open_count(), 0);
+        assert_eq!(t.close(fd), Err(FsError::BadFd));
+        assert_eq!(t.close_all(), 0, "idempotent on an empty table");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   the scalability study (Figure 11);
 //! * [`opmix`] — a seeded random operation mix over a small tree, used by
 //!   the linearizability stress tests;
+//! * [`storm`] — a multi-connection client storm driven through the RPC
+//!   serving layer, measuring latency where the client observes it;
 //! * [`driver`] — thread fan-out and timing helpers.
 
 pub mod apps;
@@ -22,5 +24,6 @@ pub mod driver;
 pub mod filebench;
 pub mod lfs;
 pub mod opmix;
+pub mod storm;
 
 pub use driver::{run_threads, run_threads_observed, RunResult};
