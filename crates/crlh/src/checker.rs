@@ -39,17 +39,18 @@
 //! be followed by `OptRetry`; an `OptRetry` directly after a claim aborts
 //! it and unwinds the provisional linearization.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use atomfs_trace::{Event, Inum, MicroOp, OpDesc, OpRet, PathTag, Tid};
 use atomfs_vfs::FileType;
 
 use crate::afs::apply_aop;
-use crate::ghost::{AopState, Binding, ThreadPool};
+use crate::fastmap::FastMap;
+use crate::ghost::{is_provisional, AopState, Binding, Descriptor, ThreadPool};
 use crate::helper::{help_set, linearize_before_set, total_order};
 use crate::invariants;
-use crate::rollback::{relation_violations, rolled_back};
-use crate::state::FsState;
+use crate::rollback::{match_nodes, relation_violations, rolled_back, rolled_node};
+use crate::state::{FsState, Node};
 
 /// Whether rename LPs run the helper mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +221,49 @@ pub struct CheckerStats {
     pub refused: u64,
 }
 
+/// A size census of the checker's live replay state (see
+/// [`LpChecker::retained`]). Everything here retires as operations
+/// discharge, so on a healthy stream each count tracks the in-flight
+/// window rather than the trace length.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RetainedState {
+    /// Active per-thread descriptors (operations begun, not yet ended).
+    pub descriptors: usize,
+    /// Helped threads awaiting discharge.
+    pub helplist: usize,
+    /// Roll-back log entries (recorded effects of helped threads).
+    pub effect_entries: usize,
+    /// Concrete↔abstract inode bindings (tracks live tree size).
+    pub bindings: usize,
+    /// Locks currently held in the shadow state.
+    pub locks_held: usize,
+    /// Thread-private concrete inodes awaiting their creator's LP.
+    pub private_inodes: usize,
+    /// Concrete removals awaiting their owner's LP unbind.
+    pub pending_unbinds: usize,
+    /// Threads with live optimistic-traversal state.
+    pub opt_states: usize,
+    /// Narration lines held (bounded when a cap is set).
+    pub narration_lines: usize,
+}
+
+impl RetainedState {
+    /// Total retained entries, excluding `bindings`: the binding table
+    /// legitimately tracks the live file-system *size* (one entry per
+    /// existing inode), while everything else must track only in-flight
+    /// work. The bound the bench enforces is on this figure.
+    pub fn window_total(&self) -> usize {
+        self.descriptors
+            + self.helplist
+            + self.effect_entries
+            + self.locks_held
+            + self.private_inodes
+            + self.pending_unbinds
+            + self.opt_states
+            + self.narration_lines
+    }
+}
+
 /// The result of checking one trace.
 #[derive(Debug)]
 pub struct CheckReport {
@@ -297,6 +341,132 @@ struct OptState {
     must_retry: bool,
 }
 
+/// Dirty-set bookkeeping behind the incremental relation and invariant
+/// checks.
+///
+/// The full abstraction-relation scan walks both whole states and the
+/// full `GoodAFS` check recounts every parent link — O(tree) at every
+/// unlock/LP, which caps streaming throughput far below the emit rate.
+/// Incremental checking restores O(touched) per check: every mutation of
+/// the shadow state, the abstract state, the binding, or an exemption
+/// (lock/private status) taints the inodes whose verdict could have
+/// changed, and the checks revisit exactly those. Inodes nobody touched
+/// since the last clean check keep their verdict by construction.
+///
+/// The incremental paths are only trusted on a clean run: after the
+/// first violation (or if per-inode roll-back ever meets inconsistent
+/// metadata, `full`), every later check delegates to the exact full
+/// scans, so verdicts and messages on broken traces are identical to the
+/// offline checker's.
+#[derive(Debug, Default)]
+struct IncrState {
+    /// Concrete inodes whose relation verdict may have changed.
+    rel_conc: BTreeSet<Inum>,
+    /// Abstract inodes whose relation verdict may have changed.
+    rel_abs: BTreeSet<Inum>,
+    /// Abstract inodes whose local `GoodAFS` verdict may have changed.
+    afs_dirty: BTreeSet<Inum>,
+    /// Parent-link count per abstract inode (absent = 0). Maintained from
+    /// every abstract-state mutation so the one-parent / no-orphan checks
+    /// need no recount.
+    parent_counts: FastMap<Inum, i64>,
+    /// A rename's effects were applied, or any effects were unwound,
+    /// since the last invariant check. Link counters stay consistent
+    /// across a detached cycle, so only these events force the next
+    /// check to run the full reachability sweep.
+    moved: bool,
+    /// Sticky fallback: incremental state can no longer be trusted
+    /// (per-inode roll-back hit corrupt metadata); use full scans only.
+    full: bool,
+    /// Scratch buffer for per-LP pending-thread collection.
+    scratch_tids: Vec<Tid>,
+}
+
+impl IncrState {
+    /// Taint a concrete inode (and its bound abstract counterpart).
+    fn taint_conc(&mut self, c: Inum, binding: &Binding) {
+        self.rel_conc.insert(c);
+        if let Some(a) = binding.abs(c) {
+            self.rel_abs.insert(a);
+        }
+    }
+
+    /// Taint an abstract inode (and its bound concrete counterpart).
+    fn taint_abs(&mut self, a: Inum, binding: &Binding) {
+        self.rel_abs.insert(a);
+        if let Some(c) = binding.conc(a) {
+            self.rel_conc.insert(c);
+        }
+    }
+
+    /// Record a shadow-state mutation.
+    fn note_shadow(&mut self, mop: &MicroOp, binding: &Binding) {
+        match mop {
+            MicroOp::Create { ino, .. }
+            | MicroOp::Remove { ino, .. }
+            | MicroOp::SetData { ino, .. } => self.taint_conc(*ino, binding),
+            MicroOp::Ins { parent, child, .. } | MicroOp::Del { parent, child, .. } => {
+                self.taint_conc(*parent, binding);
+                self.taint_conc(*child, binding);
+            }
+        }
+    }
+
+    /// Record an abstract-state mutation: `sign` is +1 for an applied
+    /// effect, -1 for an unapplied one (parent counts move with it).
+    fn note_afs(&mut self, mop: &MicroOp, sign: i64, binding: &Binding) {
+        match mop {
+            MicroOp::Create { ino, .. }
+            | MicroOp::Remove { ino, .. }
+            | MicroOp::SetData { ino, .. } => {
+                self.taint_abs(*ino, binding);
+                self.afs_dirty.insert(*ino);
+            }
+            MicroOp::Ins { parent, child, .. } => {
+                self.taint_abs(*parent, binding);
+                self.taint_abs(*child, binding);
+                self.afs_dirty.insert(*parent);
+                self.afs_dirty.insert(*child);
+                self.bump_parent_count(*child, sign);
+            }
+            MicroOp::Del { parent, child, .. } => {
+                self.taint_abs(*parent, binding);
+                self.taint_abs(*child, binding);
+                self.afs_dirty.insert(*parent);
+                self.afs_dirty.insert(*child);
+                self.bump_parent_count(*child, -sign);
+            }
+        }
+    }
+
+    /// Adjust a parent-link counter, dropping zeroed entries so the map
+    /// stays proportional to the live tree, not to inodes ever created.
+    fn bump_parent_count(&mut self, child: Inum, delta: i64) {
+        let e = self.parent_counts.entry(child).or_insert(0);
+        *e += delta;
+        if *e == 0 {
+            self.parent_counts.remove(&child);
+        }
+    }
+
+    /// Effects leave the roll-back log at discharge: the rolled-back view
+    /// gains them, so their relation verdicts may change. The abstract
+    /// map itself is untouched — `GoodAFS` counters don't move.
+    fn note_discharge(&mut self, effects: &[MicroOp], binding: &Binding) {
+        for e in effects {
+            match e {
+                MicroOp::Create { ino, .. }
+                | MicroOp::Remove { ino, .. }
+                | MicroOp::SetData { ino, .. } => self.taint_abs(*ino, binding),
+                MicroOp::Ins { parent, child, .. } | MicroOp::Del { parent, child, .. } => {
+                    self.taint_abs(*parent, binding);
+                    self.taint_abs(*child, binding);
+                }
+            }
+        }
+    }
+}
+
 /// The replaying checker. Feed events with [`LpChecker::feed`] (or install
 /// as an online [`atomfs_trace::TraceSink`] via `crate::online`), then call
 /// [`LpChecker::finish`].
@@ -307,18 +477,32 @@ pub struct LpChecker {
     pool: ThreadPool,
     binding: Binding,
     /// Concrete inode -> holder.
-    locks: HashMap<Inum, Tid>,
+    locks: FastMap<Inum, Tid>,
     /// Concrete inodes created by a still-pending (unhelped) operation.
-    private: HashMap<Inum, Tid>,
+    private: FastMap<Inum, Tid>,
     /// Concrete inodes removed inside a critical section whose abstract
     /// removal happens later, at the owner's LP; unbound there.
-    pending_unbinds: HashMap<Tid, Vec<Inum>>,
+    pending_unbinds: FastMap<Tid, Vec<Inum>>,
     /// Per-thread optimistic-traversal state (see [`OptState`]).
-    opt: HashMap<Tid, OptState>,
+    opt: FastMap<Tid, OptState>,
+    /// Dirty-set bookkeeping for the incremental relation and invariant
+    /// checks (see [`IncrState`]).
+    incr: IncrState,
     next_provisional: Inum,
     violations: Vec<Violation>,
     stats: CheckerStats,
     narration: Vec<String>,
+    /// Bound on `narration` length (streaming mode): oldest lines are
+    /// dropped once the cap is hit, so a checker that runs for days does
+    /// not grow a trace-length transcript. `None` keeps everything (the
+    /// offline default).
+    narration_cap: Option<usize>,
+    /// Narration lines dropped under the cap (for the retained report).
+    narration_dropped: u64,
+    /// Last stamp accepted by [`LpChecker::feed_stamped`]; persists
+    /// across calls so a chunked (streaming) feed enforces the same
+    /// strict monotonicity as one offline `feed_all_stamped` pass.
+    prev_stamp: Option<u64>,
     idx: usize,
     metrics: Option<std::sync::Arc<crate::metrics::CheckerMetrics>>,
 }
@@ -338,17 +522,31 @@ impl LpChecker {
             afs: FsState::new(),
             pool: ThreadPool::new(),
             binding: Binding::new(),
-            locks: HashMap::new(),
-            private: HashMap::new(),
-            pending_unbinds: HashMap::new(),
-            opt: HashMap::new(),
+            locks: FastMap::default(),
+            private: FastMap::default(),
+            pending_unbinds: FastMap::default(),
+            opt: FastMap::default(),
+            incr: IncrState::default(),
             next_provisional: crate::ghost::PROVISIONAL_BASE,
             violations: Vec::new(),
             stats: CheckerStats::default(),
             narration: Vec::new(),
+            narration_cap: None,
+            narration_dropped: 0,
+            prev_stamp: None,
             idx: 0,
             metrics: None,
         }
+    }
+
+    /// Keep at most `cap` narration lines, dropping the oldest
+    /// (builder-style). Streaming checkers set this so the transcript —
+    /// the one piece of replay state that otherwise grows with trace
+    /// length even on a clean run — stays a bounded ring holding the
+    /// most recent window.
+    pub fn with_narration_cap(mut self, cap: usize) -> Self {
+        self.narration_cap = Some(cap.max(1));
+        self
     }
 
     /// Attach live checker metrics (builder-style). Under `obs-off` the
@@ -358,6 +556,14 @@ impl LpChecker {
         metrics: std::sync::Arc<crate::metrics::CheckerMetrics>,
     ) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Force the exact whole-state scans on every check, bypassing the
+    /// incremental dirty-set paths (differential-testing hook).
+    #[doc(hidden)]
+    pub fn with_full_scans(mut self) -> Self {
+        self.incr.full = true;
         self
     }
 
@@ -374,6 +580,51 @@ impl LpChecker {
     /// Violations found so far.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// Execution counters so far (streaming consumers read these without
+    /// finishing the checker).
+    pub fn stats(&self) -> &CheckerStats {
+        &self.stats
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> usize {
+        self.idx
+    }
+
+    /// Measure the replay state currently held. On a clean trace every
+    /// component retires on its own — descriptors at `OpEnd`, effect
+    /// logs and Helplist entries at discharge, opt states on commit — so
+    /// this is O(in-flight operations), not O(trace). The streaming
+    /// checker exports these counts as gauges and the bench asserts they
+    /// stay bounded; growth here under a steady workload means a
+    /// retirement hook regressed.
+    pub fn retained(&self) -> RetainedState {
+        RetainedState {
+            descriptors: self.pool.iter().count(),
+            helplist: self.pool.helplist.len(),
+            effect_entries: self.pool.iter().map(|(_, e)| e.desc.effect.len()).sum(),
+            bindings: self.binding.len(),
+            locks_held: self.locks.len(),
+            private_inodes: self.private.len(),
+            pending_unbinds: self.pending_unbinds.values().map(Vec::len).sum(),
+            opt_states: self.opt.len(),
+            narration_lines: self.narration.len(),
+        }
+    }
+
+    fn narrate(&mut self, line: String) {
+        self.narration.push(line);
+        if let Some(cap) = self.narration_cap {
+            // Drain in batches so the cap amortizes to O(1) per line
+            // instead of shifting the whole ring on every push.
+            if self.narration.len() > cap.saturating_mul(2) {
+                let drop = self.narration.len() - cap;
+                self.narration.drain(..drop);
+                self.narration_dropped += drop as u64;
+            }
+        }
     }
 
     fn flag(&mut self, kind: ViolationKind, message: String) {
@@ -454,28 +705,35 @@ impl LpChecker {
         }
     }
 
-    /// Process a sequence-stamped trace (e.g. from
-    /// `atomfs_trace::ShardedSink::take_stamped`), additionally checking
-    /// that stamps are strictly increasing — the merged trace must be
-    /// presented in the total order the stamps define, otherwise the
-    /// recorder (or a lossy merge) broke the legal-total-order contract
-    /// and every later verdict would be about the wrong interleaving.
-    pub fn feed_all_stamped(&mut self, events: &[(u64, Event)]) {
-        let mut prev: Option<u64> = None;
-        for (stamp, e) in events {
-            if let Some(p) = prev {
-                if *stamp <= p {
-                    self.flag(
-                        ViolationKind::Protocol,
-                        format!(
-                            "sequence stamp {stamp} follows {p}: merged trace is not in \
-                             stamp order"
-                        ),
-                    );
-                }
+    /// Process one sequence-stamped event, checking that stamps are
+    /// strictly increasing — across calls, so a chunked streaming feed
+    /// enforces the same total-order contract as one offline pass. The
+    /// merged trace must be presented in the order the stamps define,
+    /// otherwise the recorder (or a lossy merge) broke the
+    /// legal-total-order contract and every later verdict would be
+    /// about the wrong interleaving.
+    pub fn feed_stamped(&mut self, stamp: u64, ev: &Event) {
+        if let Some(p) = self.prev_stamp {
+            if stamp <= p {
+                self.flag(
+                    ViolationKind::Protocol,
+                    format!(
+                        "sequence stamp {stamp} follows {p}: merged trace is not in \
+                         stamp order"
+                    ),
+                );
             }
-            prev = Some(*stamp);
-            self.feed(e);
+        }
+        self.prev_stamp = Some(stamp);
+        self.feed(ev);
+    }
+
+    /// Process a sequence-stamped trace (e.g. from
+    /// `atomfs_trace::ShardedSink::take_stamped`); see
+    /// [`LpChecker::feed_stamped`].
+    pub fn feed_all_stamped(&mut self, events: &[(u64, Event)]) {
+        for (stamp, e) in events {
+            self.feed_stamped(*stamp, e);
         }
     }
 
@@ -534,7 +792,7 @@ impl LpChecker {
     fn on_begin(&mut self, tid: Tid, op: &OpDesc) {
         self.opt.remove(&tid);
         self.stats.ops_begun += 1;
-        self.narration.push(format!("{tid} invokes {op}"));
+        self.narrate(format!("{tid} invokes {op}"));
         if !self.pool.begin(tid, op.clone()) {
             self.flag(
                 ViolationKind::Protocol,
@@ -590,7 +848,13 @@ impl LpChecker {
             }
             return;
         }
-        // Non-bypassable invariants against every other helped thread.
+        // Non-bypassable invariants against every other helped thread. A
+        // non-empty FutLockPath implies membership on the Helplist (it is
+        // cleared or consumed by discharge/abort), so an empty Helplist
+        // makes the scan a no-op — skip it.
+        if self.pool.helplist.is_empty() {
+            return;
+        }
         if let Some(a) = abs {
             let locker_helped = self.pool.get(tid).map(|e| e.desc.helped).unwrap_or(false);
             let locker_pos = self.pool.helplist.iter().position(|t| *t == tid);
@@ -646,6 +910,9 @@ impl LpChecker {
                 );
             }
         }
+        // The unlock lifts the relaxed-mapping exemption: this inode's
+        // relation verdict is live again.
+        self.incr.taint_conc(ino, &self.binding);
         if self.cfg.relation == RelationCadence::AtUnlock {
             self.check_relation();
         }
@@ -704,6 +971,9 @@ impl LpChecker {
         if let Err(e) = self.shadow.apply_micro(mop) {
             self.flag(ViolationKind::ShadowState, format!("{tid}: {e}"));
         }
+        // Taint before any unbind below, while the cross-level pairing is
+        // still visible.
+        self.incr.note_shadow(mop, &self.binding);
         if let MicroOp::Remove { ino, .. } = mop {
             // If the abstract level still holds the counterpart (the
             // remover has not passed its LP yet — e.g. a rename victim is
@@ -743,48 +1013,60 @@ impl LpChecker {
             );
             return;
         };
-        match entry.aop.clone() {
-            AopState::Done(_) => {
-                // Helped earlier; the concrete execution has now caught up.
-                let mut deferred: Vec<(ViolationKind, String)> = Vec::new();
-                if !entry.desc.fut_lock_path.is_empty() {
-                    let left: Vec<_> = entry.desc.fut_lock_path.iter().copied().collect();
-                    entry.desc.fut_lock_path.clear();
-                    deferred.push((
-                        ViolationKind::FutureLockpath,
-                        format!("{tid} reached its LP with FutLockPath not consumed: {left:?}"),
-                    ));
-                }
-                if !entry.desc.pending_provisionals.is_empty() {
-                    deferred.push((
-                        ViolationKind::FutureLockpath,
-                        format!("{tid} reached its LP with helped creations never performed"),
-                    ));
-                }
-                entry.desc.effect.clear();
-                // Inodes created on behalf of this helped op are published
-                // now: the abstract and concrete levels agree from here on.
-                self.private.retain(|_, t| *t != tid);
-                if !self.pool.discharge(tid) {
-                    deferred.push((
-                        ViolationKind::HelplistConsistency,
-                        format!("helped {tid} was not on the Helplist at discharge"),
-                    ));
-                }
-                for (k, m) in deferred {
-                    self.flag(k, m);
-                }
+        if matches!(entry.aop, AopState::Done(_)) {
+            // Helped earlier; the concrete execution has now caught up.
+            let mut deferred: Vec<(ViolationKind, String)> = Vec::new();
+            if !entry.desc.fut_lock_path.is_empty() {
+                let left: Vec<_> = entry.desc.fut_lock_path.iter().copied().collect();
+                entry.desc.fut_lock_path.clear();
+                deferred.push((
+                    ViolationKind::FutureLockpath,
+                    format!("{tid} reached its LP with FutLockPath not consumed: {left:?}"),
+                ));
             }
-            AopState::Pending(op) => {
-                if self.cfg.mode == HelperMode::Helpers && op.is_rename() {
-                    self.stats.rename_lps += 1;
-                    self.run_linothers(tid);
-                }
-                self.lin(tid, LinMode::OwnLp);
+            if !entry.desc.pending_provisionals.is_empty() {
+                deferred.push((
+                    ViolationKind::FutureLockpath,
+                    format!("{tid} reached its LP with helped creations never performed"),
+                ));
             }
+            // Discharge: the recorded effects stop being rolled back, so
+            // the concrete-time view of every inode they touch changes.
+            self.incr.note_discharge(&entry.desc.effect, &self.binding);
+            entry.desc.effect.clear();
+            // Inodes created on behalf of this helped op are published
+            // now: the abstract and concrete levels agree from here on —
+            // and losing the private exemption makes them checkable.
+            let published: Vec<Inum> = self
+                .private
+                .iter()
+                .filter(|(_, t)| **t == tid)
+                .map(|(ino, _)| *ino)
+                .collect();
+            for ino in published {
+                self.private.remove(&ino);
+                self.incr.taint_conc(ino, &self.binding);
+            }
+            if !self.pool.discharge(tid) {
+                deferred.push((
+                    ViolationKind::HelplistConsistency,
+                    format!("helped {tid} was not on the Helplist at discharge"),
+                ));
+            }
+            for (k, m) in deferred {
+                self.flag(k, m);
+            }
+        } else {
+            let is_rename = matches!(&entry.aop, AopState::Pending(op) if op.is_rename());
+            if self.cfg.mode == HelperMode::Helpers && is_rename {
+                self.stats.rename_lps += 1;
+                self.run_linothers(tid);
+            }
+            self.lin(tid, LinMode::OwnLp);
         }
         if let Some(pending) = self.pending_unbinds.remove(&tid) {
             for ino in pending {
+                self.incr.taint_conc(ino, &self.binding);
                 self.binding.unbind_concrete(ino);
             }
         }
@@ -827,7 +1109,7 @@ impl LpChecker {
             .map(|t| t.to_string())
             .collect::<Vec<_>>()
             .join(" then ");
-        self.narration.push(format!(
+        self.narrate(format!(
             "{rename_tid} reaches its LP and runs linothers: helping {order_str}"
         ));
         for h in order {
@@ -892,7 +1174,7 @@ impl LpChecker {
             apply_aop(&mut self.afs, &op, &mut alloc)
         };
         self.next_provisional = next_prov;
-        if let Some(err) = apply_err {
+        if let Some(err) = &apply_err {
             self.flag(
                 ViolationKind::AbstractionRelation,
                 format!("{tid}: abstract effects inapplicable, levels diverged: {err}"),
@@ -904,8 +1186,19 @@ impl LpChecker {
                 format!("{tid}: created inode type differs between levels"),
             );
         }
+        if apply_err.is_none() {
+            for e in &effects {
+                self.incr.note_afs(e, 1, &self.binding);
+            }
+        }
+        if op.is_rename() {
+            // A rename can detach a whole subtree; parent counters alone
+            // cannot witness the resulting unreachability.
+            self.incr.moved = true;
+        }
         for ino in identity {
             self.binding.bind(ino, ino);
+            self.incr.taint_conc(ino, &self.binding);
             // For a *helped* operation the recorded effects are rolled
             // back until its own LP discharges them, so inodes it already
             // created concretely must stay thread-private until then.
@@ -913,7 +1206,7 @@ impl LpChecker {
                 self.private.remove(&ino);
             }
         }
-        self.narration.push(match mode {
+        self.narrate(match mode {
             LinMode::OwnLp => format!("{tid} linearized at its own LP => {ret}"),
             LinMode::Helper => format!("  -> {tid} linearized by helper => {ret}"),
             LinMode::Claim => format!("{tid} linearized at its optimistic claim => {ret}"),
@@ -935,7 +1228,7 @@ impl LpChecker {
 
     fn on_end(&mut self, tid: Tid, ret: &OpRet) {
         self.stats.ops_completed += 1;
-        self.narration.push(format!("{tid} returns {ret}"));
+        self.narrate(format!("{tid} returns {ret}"));
         let Some(entry) = self.pool.end(tid) else {
             self.flag(
                 ViolationKind::Protocol,
@@ -964,8 +1257,7 @@ impl LpChecker {
                     // nothing, which any surviving creation falsifies.
                     if entry.desc.created.is_empty() {
                         self.stats.refused += 1;
-                        self.narration
-                            .push(format!("{tid} refused by the environment (EROFS)"));
+                        self.narrate(format!("{tid} refused by the environment (EROFS)"));
                     } else {
                         self.flag(
                             ViolationKind::Protocol,
@@ -993,6 +1285,7 @@ impl LpChecker {
         }
         if let Some(pending) = self.pending_unbinds.remove(&tid) {
             for ino in pending {
+                self.incr.taint_conc(ino, &self.binding);
                 self.binding.unbind_concrete(ino);
             }
         }
@@ -1077,7 +1370,7 @@ impl LpChecker {
             o.must_retry = true;
             return;
         }
-        self.narration.push(format!(
+        self.narrate(format!(
             "{tid} claims a validated optimistic chain of {} node(s)",
             chain.len()
         ));
@@ -1147,8 +1440,7 @@ impl LpChecker {
                 return;
             }
         };
-        self.narration
-            .push(format!("{tid} linearized at its optimistic claim => {ret}"));
+        self.narrate(format!("{tid} linearized at its optimistic claim => {ret}"));
         let entry = self.pool.get_mut(tid).expect("caller checked");
         entry.aop = AopState::Done(ret);
     }
@@ -1164,21 +1456,23 @@ impl LpChecker {
             o.must_retry = false;
             (claim, locked)
         };
-        let Some(entry) = self.pool.get_mut(tid) else {
+        if self.pool.get(tid).is_none() {
             self.flag(
                 ViolationKind::Protocol,
                 format!("{tid} opt-retried outside any operation"),
             );
             return;
-        };
+        }
+        if claim.is_some() {
+            self.narrate(format!("{tid} aborts its optimistic claim and retries"));
+        }
+        let entry = self.pool.get_mut(tid).expect("checked above");
         if let Some(op) = claim {
             // The runtime's post-claim validation failed: unwind the
             // provisional linearization — reverse any recorded effects,
             // drop minted provisionals (never bound — the concrete
             // mutations only start after a committed claim), and restore
             // the pending operation.
-            self.narration
-                .push(format!("{tid} aborts its optimistic claim and retries"));
             let effects = std::mem::take(&mut entry.desc.effect);
             let was_helped = entry.desc.helped;
             entry.desc.helped = false;
@@ -1193,6 +1487,12 @@ impl LpChecker {
                         format!("{tid}: undo of aborted optimistic claim failed: {err}"),
                     );
                 }
+                self.incr.note_afs(e, -1, &self.binding);
+            }
+            if !effects.is_empty() {
+                // Undoing links can detach inodes without touching their
+                // own entries; force a reachability sweep.
+                self.incr.moved = true;
             }
             if was_helped {
                 self.pool.discharge(tid);
@@ -1212,6 +1512,95 @@ impl LpChecker {
             // the relation had to unwind to reach a consistent view.
             m.rollback(self.pool.helplist.len() as u64);
         }
+        if self.incr.full || !self.violations.is_empty() {
+            // Broken run: keep the exact whole-state scan so verdicts and
+            // messages match the offline checker's.
+            self.incr.rel_conc.clear();
+            self.incr.rel_abs.clear();
+            self.check_relation_full();
+            return;
+        }
+        // Clean run: only inodes touched since the last check can have
+        // changed verdict. Both loops mirror `relation_violations` over
+        // the dirty subsets; at a first detection every violating inode is
+        // dirty (any change or exemption lift taints), so the emitted
+        // messages coincide with the full scan's.
+        let conc = std::mem::take(&mut self.incr.rel_conc);
+        let abs = std::mem::take(&mut self.incr.rel_abs);
+        let mut flags: Vec<String> = Vec::new();
+        for &cid in &conc {
+            if self.locks.contains_key(&cid) || self.private.contains_key(&cid) {
+                // Exempt while locked/private — no requeue needed: the
+                // unlock / publication taints it again.
+                continue;
+            }
+            let Some(cnode) = self.shadow.map.get(&cid) else {
+                // Gone from the concrete state; the abstract side is
+                // judged through `abs`.
+                continue;
+            };
+            let Some(aid) = self.binding.abs(cid) else {
+                flags.push(format!("concrete inode {cid} has no abstract counterpart"));
+                continue;
+            };
+            match rolled_node(&self.afs, &self.pool, aid) {
+                Err(_) => {
+                    // Per-inode roll-back hit inconsistent metadata; the
+                    // whole-state roll-back owns the diagnosis.
+                    self.incr.full = true;
+                    self.check_relation_full();
+                    return;
+                }
+                Ok(None) => flags.push(format!(
+                    "concrete inode {cid} (abs {aid}) missing from rolled-back abstract state"
+                )),
+                Ok(Some(anode)) => {
+                    if let Some(msg) = match_nodes(cid, cnode, aid, &anode, &self.binding) {
+                        flags.push(msg);
+                    }
+                }
+            }
+        }
+        for &aid in &abs {
+            match rolled_node(&self.afs, &self.pool, aid) {
+                Err(_) => {
+                    self.incr.full = true;
+                    self.check_relation_full();
+                    return;
+                }
+                // Absent from the rolled-back view — the full scan would
+                // not visit it either.
+                Ok(None) => continue,
+                Ok(Some(_)) => {}
+            }
+            match self.binding.conc(aid) {
+                Some(cid) => {
+                    if !self.shadow.map.contains_key(&cid) && !self.locks.contains_key(&cid) {
+                        flags.push(format!(
+                            "abstract inode {aid} (concrete {cid}) missing from concrete state"
+                        ));
+                    }
+                }
+                None => {
+                    if is_provisional(aid) {
+                        flags.push(format!(
+                            "provisional abstract inode {aid} survived roll-back unbound"
+                        ));
+                    } else {
+                        flags.push(format!(
+                            "abstract inode {aid} is not bound to any concrete inode"
+                        ));
+                    }
+                }
+            }
+        }
+        for msg in flags {
+            self.flag(ViolationKind::AbstractionRelation, msg);
+        }
+    }
+
+    /// The exact whole-state relation scan (offline semantics).
+    fn check_relation_full(&mut self) {
         match rolled_back(&self.afs, &self.pool) {
             Ok(rolled) => {
                 for msg in relation_violations(
@@ -1234,9 +1623,224 @@ impl LpChecker {
     }
 
     fn check_invariants(&mut self) {
-        for v in invariants::check_all(&self.afs, &self.pool, &self.locks) {
-            self.flag(v.0, v.1);
+        if self.incr.full || !self.violations.is_empty() {
+            self.incr.afs_dirty.clear();
+            for v in invariants::check_all(&self.afs, &self.pool, &self.locks) {
+                self.flag(v.0, v.1);
+            }
+            return;
         }
+        // Same emission order as `invariants::check_all`: GoodAfs,
+        // LastLocked, Helplist, Lockpath.
+        self.check_good_afs_incremental();
+        self.check_last_locked_fast();
+        for m in invariants::helplist_consistency(&self.pool) {
+            self.flag(ViolationKind::HelplistConsistency, m);
+        }
+        self.check_lockpath_wellformed_fast();
+    }
+
+    /// Incremental `GoodAFS`: judge only dirty abstract inodes with the
+    /// maintained parent counters; a rename (or an effect undo) since the
+    /// last check additionally forces one reachability sweep. On any
+    /// suspicion the exact [`invariants::good_afs`] runs, so messages on
+    /// broken states are identical to the full check's.
+    fn check_good_afs_incremental(&mut self) {
+        let dirty = std::mem::take(&mut self.incr.afs_dirty);
+        let mut suspicious = false;
+        for &id in &dirty {
+            let pc = self.incr.parent_counts.get(&id).copied().unwrap_or(0);
+            match self.afs.map.get(&id) {
+                Some(node) => {
+                    let want = if id == self.afs.root { 0 } else { 1 };
+                    if pc != want {
+                        suspicious = true;
+                        break;
+                    }
+                    if let Node::Dir(d) = node {
+                        if d.values().any(|c| !self.afs.map.contains_key(c)) {
+                            suspicious = true;
+                            break;
+                        }
+                    }
+                }
+                None => {
+                    if pc != 0 {
+                        suspicious = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if self.incr.moved {
+            self.incr.moved = false;
+            if !suspicious && self.afs.reachable().len() != self.afs.map.len() {
+                suspicious = true;
+            }
+        }
+        if !suspicious {
+            return;
+        }
+        let msgs = invariants::good_afs(&self.afs);
+        if msgs.is_empty() {
+            // Counter drift without a real violation (defensive): rebuild.
+            self.resync_parent_counts();
+            return;
+        }
+        for m in msgs {
+            self.flag(ViolationKind::GoodAfs, m);
+        }
+    }
+
+    /// Rebuild `parent_counts` from the abstract state.
+    fn resync_parent_counts(&mut self) {
+        self.incr.parent_counts.clear();
+        for node in self.afs.map.values() {
+            if let Node::Dir(d) = node {
+                for &child in d.values() {
+                    *self.incr.parent_counts.entry(child).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// `Last-locked-lockpath` without materializing lock paths: the last
+    /// inode of `src_path` is the last of `src_branch` (or of `common`),
+    /// the last of `dst_path` the last of `dst_branch`.
+    fn check_last_locked_fast(&mut self) {
+        let mut flags: Vec<String> = Vec::new();
+        for (tid, entry) in self.pool.iter() {
+            if !entry.aop.is_pending() || !self.locks.values().any(|t| *t == tid) {
+                continue;
+            }
+            let d = &entry.desc;
+            let src_last = d.src_branch.last().or(d.common.last());
+            if let Some(&last) = src_last {
+                if self.locks.get(&last) != Some(&tid) {
+                    flags.push(format!(
+                        "pending {tid}: last lock-path inode {last} not locked by it"
+                    ));
+                }
+            }
+            if let Some(&last) = d.dst_branch.last() {
+                if self.locks.get(&last) != Some(&tid) {
+                    flags.push(format!(
+                        "pending {tid}: last lock-path inode {last} not locked by it"
+                    ));
+                }
+            }
+        }
+        for m in flags {
+            self.flag(ViolationKind::LastLockedLockpath, m);
+        }
+    }
+
+    /// `Lockpath-wellformed` without per-pair path materialization:
+    /// identical-path and proper-prefix tests run on chained slices; the
+    /// Kahn cycle check only runs when some proper-prefix pair exists
+    /// (an empty LB relation is trivially acyclic).
+    fn check_lockpath_wellformed_fast(&mut self) {
+        let mut pending = std::mem::take(&mut self.incr.scratch_tids);
+        pending.clear();
+        pending.extend(
+            self.pool
+                .iter()
+                .filter(|(_, e)| e.aop.is_pending())
+                .map(|(t, _)| t),
+        );
+        pending.sort_unstable();
+        let mut flags: Vec<(ViolationKind, String)> = Vec::new();
+        let mut any_prefix = false;
+        for (i, &a) in pending.iter().enumerate() {
+            let da = &self.pool.get(a).expect("pending").desc;
+            let pa = [PathView::src(da), PathView::dst(da)];
+            for &b in pending.iter().skip(i + 1) {
+                let db = &self.pool.get(b).expect("pending").desc;
+                let pb = [PathView::src(db), PathView::dst(db)];
+                for x in pa.iter().flatten() {
+                    for y in pb.iter().flatten() {
+                        if !x.is_empty() && x.eq_view(y) {
+                            flags.push((
+                                ViolationKind::LockpathWellformed,
+                                format!(
+                                    "{a} and {b} share the identical lock path {:?}",
+                                    x.to_vec()
+                                ),
+                            ));
+                        }
+                        if x.is_proper_prefix_of(y) || y.is_proper_prefix_of(x) {
+                            any_prefix = true;
+                        }
+                    }
+                }
+            }
+        }
+        if any_prefix {
+            let lbset = linearize_before_set(&self.pool);
+            let set: std::collections::BTreeSet<Tid> = pending.iter().copied().collect();
+            if let Err(cyclic) = total_order(&set, &lbset) {
+                flags.push((
+                    ViolationKind::LockpathWellformed,
+                    format!("LockPathPrefix relation is cyclic among {cyclic:?}"),
+                ));
+            }
+        }
+        self.incr.scratch_tids = pending;
+        for (k, m) in flags {
+            self.flag(k, m);
+        }
+    }
+}
+
+/// A lock path seen as two chained slices (common prefix + branch),
+/// avoiding the `Vec<Vec<Inum>>` that [`Descriptor::lock_paths`] builds.
+#[derive(Clone, Copy)]
+struct PathView<'a> {
+    head: &'a [Inum],
+    tail: &'a [Inum],
+}
+
+impl<'a> PathView<'a> {
+    fn src(d: &'a Descriptor) -> Option<Self> {
+        Some(PathView {
+            head: &d.common,
+            tail: &d.src_branch,
+        })
+    }
+
+    fn dst(d: &'a Descriptor) -> Option<Self> {
+        if d.dst_branch.is_empty() {
+            None
+        } else {
+            Some(PathView {
+                head: &d.common,
+                tail: &d.dst_branch,
+            })
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn iter(&self) -> impl Iterator<Item = Inum> + 'a {
+        self.head.iter().chain(self.tail.iter()).copied()
+    }
+
+    fn eq_view(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+
+    fn is_proper_prefix_of(&self, other: &Self) -> bool {
+        self.len() < other.len() && self.iter().eq(other.iter().take(self.len()))
+    }
+
+    fn to_vec(&self) -> Vec<Inum> {
+        self.iter().collect()
     }
 }
 

@@ -1,0 +1,103 @@
+//! A fast non-cryptographic hasher for the checker's ghost-state maps.
+//!
+//! The replay state is a constellation of small maps keyed by inode
+//! numbers and thread ids (`locks`, `private`, the binding, the thread
+//! pool). Every event performs several lookups in them, and the standard
+//! library's SipHash — built to resist hash-flooding from untrusted keys
+//! — costs more than the rest of the lookup for an 8-byte key. Trace
+//! events are not an adversarial key source (the emitting file system
+//! already owns the process), so the streaming checker trades DoS
+//! hardening for a multiply-xor hash in the style of rustc's FxHash.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over the written words (FxHash construction).
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FxBuild>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FastSet<T> = HashSet<T, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip_and_distribution() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 3);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+        assert_eq!(m.len(), 1000);
+        // Sequential keys must not collapse to one hash.
+        let mut h1 = FxHasher::default();
+        h1.write_u64(1);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(2);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn set_with_byte_keys() {
+        let mut s: FastSet<&str> = FastSet::default();
+        s.insert("alpha");
+        s.insert("beta");
+        assert!(s.contains("alpha"));
+        assert!(!s.contains("gamma"));
+    }
+}

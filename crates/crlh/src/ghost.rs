@@ -20,9 +20,11 @@
 //! abstract ids which are bound to real inode numbers when the concrete
 //! `Create` mutation arrives.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use atomfs_trace::{Inum, MicroOp, OpDesc, OpRet, PathTag, Tid};
+
+use crate::fastmap::FastMap;
 
 /// First provisional abstract id; real inode numbers stay far below this.
 pub const PROVISIONAL_BASE: Inum = 1 << 60;
@@ -140,7 +142,7 @@ impl Entry {
 /// The thread pool plus Helplist.
 #[derive(Debug, Default)]
 pub struct ThreadPool {
-    entries: HashMap<Tid, Entry>,
+    entries: FastMap<Tid, Entry>,
     /// Abstract execution order of helped threads not yet discharged.
     pub helplist: Vec<Tid>,
 }
@@ -210,8 +212,8 @@ impl ThreadPool {
 /// The concrete↔abstract inode-id bijection.
 #[derive(Debug, Default)]
 pub struct Binding {
-    to_abs: HashMap<Inum, Inum>,
-    to_conc: HashMap<Inum, Inum>,
+    to_abs: FastMap<Inum, Inum>,
+    to_conc: FastMap<Inum, Inum>,
 }
 
 impl Binding {

@@ -15,6 +15,7 @@
 //! attached to single events; this module hosts the whole-state ones.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 use atomfs_trace::{Inum, Tid};
 
@@ -24,10 +25,10 @@ use crate::helper::{is_proper_prefix, linearize_before_set};
 use crate::state::{FsState, Node};
 
 /// Run every whole-state invariant, collecting violations.
-pub fn check_all(
+pub fn check_all<S: BuildHasher>(
     afs: &FsState,
     pool: &ThreadPool,
-    locks: &HashMap<Inum, Tid>,
+    locks: &HashMap<Inum, Tid, S>,
 ) -> Vec<(ViolationKind, String)> {
     let mut out = Vec::new();
     out.extend(
@@ -101,7 +102,10 @@ pub fn good_afs(afs: &FsState) -> Vec<String> {
 /// holds at least one lock, the last inode of each of its lock paths is
 /// locked by that thread. (Linearized operations are exempt: they release
 /// their locks after their LP.)
-pub fn last_locked_lockpath(pool: &ThreadPool, locks: &HashMap<Inum, Tid>) -> Vec<String> {
+pub fn last_locked_lockpath<S: BuildHasher>(
+    pool: &ThreadPool,
+    locks: &HashMap<Inum, Tid, S>,
+) -> Vec<String> {
     let mut out = Vec::new();
     let mut held_by: HashMap<Tid, usize> = HashMap::new();
     for &t in locks.values() {

@@ -54,6 +54,7 @@
 
 pub mod afs;
 pub mod checker;
+pub mod fastmap;
 pub mod ghost;
 pub mod helper;
 pub mod history;
@@ -64,14 +65,19 @@ pub mod rg;
 pub mod rollback;
 pub mod shardlog;
 pub mod state;
+pub mod stream;
 pub mod wgl;
 
 pub use checker::{
-    CheckReport, CheckerConfig, CheckerStats, HelperMode, LpChecker, RelationCadence, Violation,
-    ViolationKind,
+    CheckReport, CheckerConfig, CheckerStats, HelperMode, LpChecker, RelationCadence,
+    RetainedState, Violation, ViolationKind,
 };
 pub use history::History;
+pub use metrics::{CheckerMetrics, StreamCheckerMetrics};
 pub use online::OnlineChecker;
+pub use stream::{StreamChecker, StreamConfig, StreamStatus};
+#[doc(hidden)]
+pub use stream::stream_test_ops;
 pub use shardlog::{
     merge_stamped, merge_stamped_with_windows, verify_pairing, MergedLog, PairingReport, TxnRecord,
 };

@@ -106,6 +106,145 @@ impl CheckerMetrics {
     }
 }
 
+/// Retained-state components exported by [`StreamCheckerMetrics`], in
+/// the order of the `crlh_stream_retained` gauge family.
+const RETAINED_COMPONENTS: [&str; 9] = [
+    "descriptors",
+    "helplist",
+    "effect_entries",
+    "bindings",
+    "locks",
+    "private_inodes",
+    "pending_unbinds",
+    "opt_states",
+    "narration",
+];
+
+/// Metric handles for a [`StreamChecker`](crate::stream::StreamChecker):
+/// how far the released (checked) prefix trails the emit frontier, how
+/// much replay state the checker is holding, how fast events flow, and
+/// a per-criterion violation gauge. These are the signals an operator
+/// watches on an always-on checking plane: lag growing without bound
+/// means the pump cannot keep up; retained state growing means a
+/// retirement hook regressed; any violation gauge leaving zero means
+/// the execution broke its specification.
+pub struct StreamCheckerMetrics {
+    events: Arc<Counter>,
+    watermark: Arc<Gauge>,
+    frontier: Arc<Gauge>,
+    lag_stamps: Arc<Gauge>,
+    lag_ns: Arc<Gauge>,
+    retained: Vec<Arc<Gauge>>,
+    retained_window: Arc<Gauge>,
+    violations: Vec<Arc<Gauge>>,
+}
+
+impl StreamCheckerMetrics {
+    /// Register the streaming-checker metric family in `registry`.
+    pub fn register(registry: &Registry) -> Arc<StreamCheckerMetrics> {
+        let events = registry.counter(
+            "crlh_stream_events_total",
+            &[],
+            "Events fed to the streaming checker.",
+        );
+        let watermark = registry.gauge(
+            "crlh_stream_watermark",
+            &[],
+            "Cross-shard stable watermark: all stamps below are checked.",
+        );
+        let frontier = registry.gauge(
+            "crlh_stream_frontier",
+            &[],
+            "Sequence stamps issued by the emitters at the last poll.",
+        );
+        let lag_stamps = registry.gauge(
+            "crlh_stream_lag_stamps",
+            &[],
+            "Watermark lag: emit frontier minus stable watermark, in stamps.",
+        );
+        let lag_ns = registry.gauge(
+            "crlh_stream_lag_ns",
+            &[],
+            "Watermark lag in wall time: age of the oldest unstable stamp.",
+        );
+        let retained = RETAINED_COMPONENTS
+            .iter()
+            .map(|c| {
+                registry.gauge(
+                    "crlh_stream_retained",
+                    &[("component", c)],
+                    "Replay state currently held by the streaming checker.",
+                )
+            })
+            .collect();
+        let retained_window = registry.gauge(
+            "crlh_stream_retained_window",
+            &[],
+            "Total retained replay state excluding live-tree bindings — \
+             bounded by the in-flight window on a healthy stream.",
+        );
+        let violations = ViolationKind::ALL
+            .iter()
+            .map(|k| {
+                registry.gauge(
+                    "crlh_stream_violations",
+                    &[("kind", k.label())],
+                    "Violations flagged by the streaming checker, by kind.",
+                )
+            })
+            .collect();
+        Arc::new(StreamCheckerMetrics {
+            events,
+            watermark,
+            frontier,
+            lag_stamps,
+            lag_ns,
+            retained,
+            retained_window,
+            violations,
+        })
+    }
+
+    /// Record a batch of checked events.
+    #[inline]
+    pub fn events(&self, n: u64) {
+        self.events.add(n);
+    }
+
+    /// Export watermark/frontier/lag after a poll.
+    pub fn observe_window(&self, watermark: u64, frontier: u64, lag_ns: u64) {
+        self.watermark.set(watermark as i64);
+        self.frontier.set(frontier as i64);
+        self.lag_stamps.set(frontier.saturating_sub(watermark) as i64);
+        self.lag_ns.set(lag_ns as i64);
+    }
+
+    /// Export the retained-state census.
+    pub fn observe_retained(&self, r: &crate::checker::RetainedState) {
+        let vals = [
+            r.descriptors,
+            r.helplist,
+            r.effect_entries,
+            r.bindings,
+            r.locks_held,
+            r.private_inodes,
+            r.pending_unbinds,
+            r.opt_states,
+            r.narration_lines,
+        ];
+        for (g, v) in self.retained.iter().zip(vals) {
+            g.set(v as i64);
+        }
+        self.retained_window.set(r.window_total() as i64);
+    }
+
+    /// Record one flagged violation.
+    #[inline]
+    pub fn violation(&self, kind: ViolationKind) {
+        self.violations[kind as usize].add(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

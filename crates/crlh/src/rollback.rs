@@ -12,13 +12,18 @@
 //!    `Helplist` order, and compare the result with the concrete state.
 //!
 //! The paper rolls back per-inode (searching the thread pool for effects
-//! touching a given inode number); rolling back the whole map and
-//! comparing per-inode is equivalent because effects are keyed by the
-//! inodes they touch, and is simpler to audit.
+//! touching a given inode number); both formulations exist here.
+//! [`rolled_back`] rolls back the whole map — simplest to audit, and the
+//! reference the full-scan relation check uses. [`rolled_node`] is the
+//! paper's `rollback(Ino, effects)`: it reconstructs a *single* inode at
+//! concrete time without cloning the map, which is what lets the
+//! streaming checker validate the relation incrementally over only the
+//! inodes an event actually touched.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
-use atomfs_trace::{Inum, Tid};
+use atomfs_trace::{Inum, MicroOp, Tid};
 
 use crate::ghost::{is_provisional, Binding, ThreadPool};
 use crate::state::{FsState, Node, StateError};
@@ -39,6 +44,115 @@ pub fn rolled_back(afs: &FsState, pool: &ThreadPool) -> Result<FsState, StateErr
     Ok(rolled)
 }
 
+/// Roll a single abstract inode back to concrete time — the paper's
+/// `rollback(Ino, effects)`.
+///
+/// Starting from the inode's current abstract node, undo (in reverse
+/// `Helplist` order) every recorded effect of a helped, undischarged
+/// operation that touches `aid`, skipping effects that don't. `Ok(None)`
+/// means the inode does not exist at concrete time (e.g. a helped
+/// creation whose concrete mutations haven't run yet). Only this one
+/// node is cloned; the map is never copied.
+///
+/// Equivalent to `rolled_back(afs, pool)?.node(aid)` because a recorded
+/// effect mutates exactly the inodes it names: restricting the undo
+/// stream to effects naming `aid` reconstructs the same node.
+pub fn rolled_node(
+    afs: &FsState,
+    pool: &ThreadPool,
+    aid: Inum,
+) -> Result<Option<Node>, StateError> {
+    let mut node = afs.node(aid).cloned();
+    for tid in pool.helplist.iter().rev() {
+        let entry = pool
+            .get(*tid)
+            .ok_or_else(|| StateError(format!("helplist references unknown thread {tid}")))?;
+        for e in entry.desc.effect.iter().rev() {
+            unapply_on(&mut node, aid, e)?;
+        }
+    }
+    Ok(node)
+}
+
+/// Undo one micro-op's action on a single inode's (optional) node,
+/// ignoring micro-ops that don't touch `aid`. Mirrors the precondition
+/// checks of [`FsState::unapply_micro`] restricted to that inode, without
+/// materializing the inverse op.
+fn unapply_on(node: &mut Option<Node>, aid: Inum, mop: &MicroOp) -> Result<(), StateError> {
+    match mop {
+        // Undo a creation: the node must exist, match the type, and be
+        // empty (removal preconditions of the inverse `Remove`).
+        MicroOp::Create { ino, ftype } if *ino == aid => match node.take() {
+            None => Err(StateError(format!("remove of missing inode {ino}"))),
+            Some(n) if n.ftype() != *ftype => {
+                Err(StateError(format!("remove of {ino} with wrong type")))
+            }
+            Some(Node::Dir(d)) if !d.is_empty() => {
+                Err(StateError(format!("remove of non-empty dir {ino}")))
+            }
+            Some(Node::File(f)) if !f.is_empty() => {
+                Err(StateError(format!("remove of non-empty file {ino}")))
+            }
+            Some(_) => Ok(()),
+        },
+        // Undo a removal: recreate the (empty) node.
+        MicroOp::Remove { ino, ftype } if *ino == aid => {
+            if node.is_some() {
+                return Err(StateError(format!("create of existing inode {ino}")));
+            }
+            *node = Some(Node::new(*ftype));
+            Ok(())
+        }
+        // Undo an insertion into this directory.
+        MicroOp::Ins {
+            parent,
+            name,
+            child,
+        } if *parent == aid => match node {
+            Some(Node::Dir(d)) => match d.remove(name) {
+                Some(c) if c == *child => Ok(()),
+                Some(c) => Err(StateError(format!(
+                    "del of {name} in {parent}: expected {child}, found {c}"
+                ))),
+                None => Err(StateError(format!(
+                    "del of missing entry {name} in {parent}"
+                ))),
+            },
+            _ => Err(StateError(format!("del from non-directory {parent}"))),
+        },
+        // Undo a deletion from this directory.
+        MicroOp::Del {
+            parent,
+            name,
+            child,
+        } if *parent == aid => match node {
+            Some(Node::Dir(d)) => {
+                if d.contains_key(name) {
+                    return Err(StateError(format!("ins duplicate entry {name} in {parent}")));
+                }
+                d.insert(name.clone(), *child);
+                Ok(())
+            }
+            Some(Node::File(_)) => Err(StateError(format!("ins into non-directory {parent}"))),
+            None => Err(StateError(format!("ins into missing inode {parent}"))),
+        },
+        // Undo a data write: contents must match the recorded new bytes.
+        MicroOp::SetData { ino, old, new } if *ino == aid => match node {
+            Some(Node::File(f)) => {
+                if f != new {
+                    return Err(StateError(format!(
+                        "setdata on {ino}: current contents differ from recorded old"
+                    )));
+                }
+                *f = old.clone();
+                Ok(())
+            }
+            _ => Err(StateError(format!("setdata on non-file {ino}"))),
+        },
+        _ => Ok(()),
+    }
+}
+
 /// Check the abstraction relation between the shadow concrete state and
 /// the rolled-back abstract state.
 ///
@@ -47,12 +161,12 @@ pub fn rolled_back(afs: &FsState, pool: &ThreadPool) -> Result<FsState, StateErr
 ///   thread-private memory of a not-yet-published `init()` node).
 ///
 /// Returns human-readable descriptions of every per-inode mismatch.
-pub fn relation_violations(
+pub fn relation_violations<S: BuildHasher>(
     shadow: &FsState,
     rolled: &FsState,
     binding: &Binding,
-    locks: &HashMap<Inum, Tid>,
-    private: &HashMap<Inum, Tid>,
+    locks: &HashMap<Inum, Tid, S>,
+    private: &HashMap<Inum, Tid, S>,
 ) -> Vec<String> {
     let mut out = Vec::new();
     for (&cid, cnode) in &shadow.map {
@@ -100,7 +214,7 @@ pub fn relation_violations(
 
 /// Compare one concrete inode against its abstract counterpart, mapping
 /// child links through the binding.
-fn match_nodes(
+pub(crate) fn match_nodes(
     cid: Inum,
     cnode: &Node,
     aid: Inum,
@@ -328,6 +442,61 @@ mod tests {
     }
 
     #[test]
+    fn rolled_node_matches_full_rollback() {
+        // Same two-helped-ops scenario as the ordering test: the
+        // per-inode formulation must agree with the whole-map roll-back
+        // on every id either state mentions (and on absent ids).
+        let mut afs = FsState::new();
+        let (p1, p2) = (
+            crate::ghost::PROVISIONAL_BASE,
+            crate::ghost::PROVISIONAL_BASE + 1,
+        );
+        let e1 = vec![
+            MicroOp::Create {
+                ino: p1,
+                ftype: FileType::Dir,
+            },
+            MicroOp::Ins {
+                parent: ROOT_INUM,
+                name: "a".into(),
+                child: p1,
+            },
+            MicroOp::Create {
+                ino: p2,
+                ftype: FileType::File,
+            },
+            MicroOp::Ins {
+                parent: p1,
+                name: "f".into(),
+                child: p2,
+            },
+            MicroOp::SetData {
+                ino: p2,
+                old: vec![],
+                new: b"xyz".to_vec(),
+            },
+        ];
+        for e in &e1 {
+            afs.apply_micro(e).unwrap();
+        }
+        let mut pool = ThreadPool::new();
+        pool.begin(Tid(1), OpDesc::Mknod { path: vec![] });
+        pool.get_mut(Tid(1)).unwrap().desc.effect = e1;
+        pool.get_mut(Tid(1)).unwrap().desc.helped = true;
+        pool.push_helped(Tid(1));
+
+        let rolled = rolled_back(&afs, &pool).unwrap();
+        for id in afs.map.keys().copied().chain(rolled.map.keys().copied()) {
+            assert_eq!(
+                rolled_node(&afs, &pool, id).unwrap().as_ref(),
+                rolled.node(id),
+                "per-inode roll-back diverged on {id}"
+            );
+        }
+        assert_eq!(rolled_node(&afs, &pool, 4242).unwrap(), None);
+    }
+
+    #[test]
     fn corrupt_effects_fail_rollback() {
         let afs = FsState::new();
         let mut pool = ThreadPool::new();
@@ -340,5 +509,9 @@ mod tests {
         }];
         pool.push_helped(Tid(1));
         assert!(rolled_back(&afs, &pool).is_err());
+        assert!(
+            rolled_node(&afs, &pool, ROOT_INUM).is_err(),
+            "per-inode roll-back must reject the same corrupt metadata"
+        );
     }
 }

@@ -49,6 +49,15 @@ pub enum TriggerCause {
         /// The violation kind's label.
         kind: String,
     },
+    /// The streaming checker flagged a violation while following a live
+    /// trace; the dump's health payload carries the offending stamped
+    /// window.
+    StreamViolation {
+        /// The violation kind's label.
+        kind: String,
+        /// Global sequence stamp of the event window where it surfaced.
+        stamp: u64,
+    },
     /// Recovery completed but had to license lost operations.
     RecoveryLoss {
         /// Operations lost inside the licensed windows.
@@ -70,6 +79,7 @@ impl TriggerCause {
             TriggerCause::ShardQuarantine { .. } => "shard_quarantine",
             TriggerCause::DegradedFlip { .. } => "degraded_flip",
             TriggerCause::CheckerViolation { .. } => "checker_violation",
+            TriggerCause::StreamViolation { .. } => "stream_violation",
             TriggerCause::RecoveryLoss { .. } => "recovery_loss",
             TriggerCause::Manual { .. } => "manual",
         }
@@ -90,6 +100,11 @@ impl TriggerCause {
             TriggerCause::CheckerViolation { kind } => format!(
                 "{{\"kind\":\"checker_violation\",\"violation\":\"{}\"}}",
                 esc(kind)
+            ),
+            TriggerCause::StreamViolation { kind, stamp } => format!(
+                "{{\"kind\":\"stream_violation\",\"violation\":\"{}\",\"stamp\":{}}}",
+                esc(kind),
+                stamp
             ),
             TriggerCause::RecoveryLoss { lost_ops, detail } => format!(
                 "{{\"kind\":\"recovery_loss\",\"lost_ops\":{},\"detail\":\"{}\"}}",

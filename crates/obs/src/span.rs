@@ -58,6 +58,9 @@ pub enum SpanKind {
     Replay,
     /// A checker pass over a trace.
     Checker,
+    /// One served RPC request: the root accept→decode→dispatch→fs-op
+    /// chain hangs under this.
+    Rpc,
     /// A degradation trigger event (quarantine, degraded flip, checker
     /// violation, recovery loss) — zero-length, marks the instant.
     Trigger,
@@ -75,6 +78,7 @@ impl SpanKind {
             SpanKind::FlushBarrier => "flush_barrier",
             SpanKind::Replay => "replay",
             SpanKind::Checker => "checker",
+            SpanKind::Rpc => "rpc",
             SpanKind::Trigger => "trigger",
         }
     }

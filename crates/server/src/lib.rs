@@ -16,6 +16,9 @@
 //! * [`client`] — pipelined [`client::RpcClient`] and the
 //!   [`client::RemoteFs`] adapter that makes a remote server look like
 //!   any other [`FileSystem`](atomfs_vfs::FileSystem).
+//! * [`check`] — the always-on [`check::CheckerPump`]: a thread that
+//!   follows the served file system's trace sink with a streaming
+//!   CRL-H checker and serves the live verdict at `/check`.
 //!
 //! Because the server is generic over `FileSystem`, serving a traced
 //! AtomFS (`AtomFs::traced(ShardedSink)`) yields a complete operation
@@ -24,16 +27,18 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod client;
 pub mod executor;
 pub mod pool;
 pub mod server;
 pub mod wire;
 
+pub use check::{CheckerPump, PumpConfig};
 pub use client::{Pending, RemoteFs, RpcClient};
 pub use executor::{Executor, ExecutorConfig};
 pub use pool::BufPool;
-pub use server::{serve, serve_on, Server, ServerConfig, StatsSnapshot};
+pub use server::{serve, serve_checked, serve_on, Server, ServerConfig, StatsSnapshot};
 pub use wire::{
     Request, Response, FLAG_APPEND, FLAG_CREATE, FLAG_READ, FLAG_TRUNC, FLAG_WRITE, MAX_IO_LEN,
 };

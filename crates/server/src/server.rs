@@ -31,9 +31,15 @@
 //! [`BufPool`], so the steady-state reply path allocates nothing.
 //!
 //! **HTTP on the same listener.** A connection whose first four bytes
-//! are `"GET "` is served as a one-shot HTTP scrape: `/metrics` renders
-//! the registry's Prometheus exposition, `/spans` the flight-recorder
-//! span JSON. Anything else on that connection path gets a 404.
+//! are `"GET "` is served as an HTTP scrape connection: `/metrics`
+//! renders the registry's Prometheus exposition, `/spans` the
+//! flight-recorder span JSON, and `/check` the live streaming-checker
+//! verdict (when a [`CheckerPump`] is attached via [`serve_checked`]).
+//! Responses always carry `Content-Length`, and the connection is kept
+//! alive for further sequential GETs until the client closes it or
+//! sends `Connection: close` — so one monitoring agent can poll all
+//! three endpoints over a single connection. Anything else on that
+//! connection path gets a 404.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -42,10 +48,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use atomfs_obs::{FnKind, Registry};
+use atomfs_obs::{FnKind, Registry, Span, SpanKind};
+use atomfs_trace::ShardedSink;
 use atomfs_vfs::{FdTable, FileSystem, FsError, OpenOptions};
+use crlh::CheckReport;
 use parking_lot::{Condvar, Mutex};
 
+use crate::check::{CheckerPump, PumpConfig};
 use crate::executor::{Executor, ExecutorConfig};
 use crate::pool::BufPool;
 use crate::wire::{
@@ -92,7 +101,8 @@ pub struct ServerStats {
     pub malformed: AtomicU64,
     /// Descriptors force-closed by disconnect/panic teardown.
     pub fds_closed_on_teardown: AtomicU64,
-    /// One-shot HTTP scrapes served on the listener.
+    /// HTTP requests served on the listener (a kept-alive scrape
+    /// connection counts once per GET).
     pub http_requests: AtomicU64,
 }
 
@@ -165,6 +175,9 @@ struct Shared<F: FileSystem> {
     stats: Arc<ServerStats>,
     conns: Mutex<HashMap<u64, Arc<ConnState<F>>>>,
     registry: Option<Arc<Registry>>,
+    /// Streaming-checker pump attached by [`serve_checked`]; `/check`
+    /// renders its live verdict.
+    checker: Mutex<Option<Arc<CheckerPump>>>,
 }
 
 impl<F: FileSystem + 'static> Shared<F> {
@@ -244,18 +257,30 @@ impl<F: FileSystem + 'static> Shared<F> {
     }
 
     /// Decode, execute, and answer one admitted request frame.
-    fn execute(&self, conn: &Arc<ConnState<F>>, frame: Vec<u8>) {
+    /// `rpc_span` is the id of the reader-side request root span (0 when
+    /// that request was not sampled): the decode and dispatch children
+    /// link to it across the thread hop, and the fs-op spans opened
+    /// inside `dispatch` nest under the open dispatch child — one
+    /// accept→decode→dispatch→op chain per tagged request.
+    fn execute(&self, conn: &Arc<ConnState<F>>, frame: Vec<u8>, rpc_span: u64) {
         if conn.dead.load(Ordering::Acquire) {
             self.pool.put(frame);
             return;
         }
         let mut reply = self.pool.get();
-        let ok = match wire::decode_request_frame(&frame) {
+        let decoded = {
+            let _sp = Span::child_of(rpc_span, SpanKind::Rpc, "decode");
+            wire::decode_request_frame(&frame)
+        };
+        let ok = match decoded {
             None => {
                 self.stats.malformed.fetch_add(1, Ordering::Relaxed);
                 false
             }
             Some((tag, req, _)) => {
+                let mut sp = Span::child_of(rpc_span, SpanKind::Rpc, "dispatch");
+                sp.set_stamp(tag);
+                sp.set_shard(conn.shard as u32);
                 self.dispatch(conn, tag, req, &mut reply);
                 true
             }
@@ -337,25 +362,61 @@ impl<F: FileSystem + 'static> Shared<F> {
         }
     }
 
-    /// One-shot HTTP scrape on the RPC listener.
+    /// HTTP scrapes on the RPC listener, keep-alive: the connection
+    /// serves sequential GETs until the client closes it or asks for
+    /// `Connection: close`. The first request's method (`"GET "`) was
+    /// consumed by the protocol sniff; later requests are read whole.
     fn serve_http(&self, mut stream: TcpStream) {
-        self.stats.http_requests.fetch_add(1, Ordering::Relaxed);
-        // "GET " is already consumed; read the rest of the request head
-        // (bounded — scrape requests are tiny).
-        let mut head = Vec::with_capacity(256);
-        let mut byte = [0u8; 1];
-        while head.len() < 4096 && !head.ends_with(b"\r\n\r\n") {
-            match stream.read(&mut byte) {
-                Ok(1) => head.push(byte[0]),
-                _ => break,
+        let mut first = true;
+        loop {
+            let Some(head) = read_http_head(&mut stream) else {
+                break; // EOF between requests, error, or oversized head
+            };
+            let mut fields = head.split(|&b| b == b' ');
+            let method: &[u8] = if first {
+                b"GET" // the sniffed bytes
+            } else {
+                fields.next().unwrap_or(b"")
+            };
+            first = false;
+            let target = fields
+                .next()
+                .and_then(|t| std::str::from_utf8(t).ok())
+                .unwrap_or("");
+            self.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+            let (status, ctype, body) = if method != b"GET" {
+                (
+                    "405 Method Not Allowed",
+                    "text/plain",
+                    "only GET is served here\n".to_string(),
+                )
+            } else {
+                self.http_response(target)
+            };
+            // Always advertise the body length so the client can frame
+            // the response and reuse the connection.
+            let close = wants_close(&head);
+            let conn_hdr = if close { "close" } else { "keep-alive" };
+            if stream
+                .write_all(
+                    format!(
+                        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: {conn_hdr}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                )
+                .is_err()
+                || close
+            {
+                break;
             }
         }
-        let target = head
-            .split(|&b| b == b' ')
-            .next()
-            .and_then(|t| std::str::from_utf8(t).ok())
-            .unwrap_or("");
-        let (status, ctype, body) = match target {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    /// Route one GET.
+    fn http_response(&self, target: &str) -> (&'static str, &'static str, String) {
+        match target {
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4",
@@ -365,17 +426,39 @@ impl<F: FileSystem + 'static> Shared<F> {
                 },
             ),
             "/spans" => ("200 OK", "application/json", atomfs_obs::render_spans_json()),
+            "/check" => match self.checker.lock().as_ref().and_then(|p| p.status_json()) {
+                Some(json) => ("200 OK", "application/json", json),
+                None => (
+                    "404 Not Found",
+                    "application/json",
+                    "{\"ok\":null,\"detail\":\"no checker attached\"}\n".to_string(),
+                ),
+            },
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
-        };
-        let _ = stream.write_all(
-            format!(
-                "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-                body.len()
-            )
-            .as_bytes(),
-        );
-        let _ = stream.shutdown(Shutdown::Both);
+        }
     }
+}
+
+/// Read one request head through the blank line, bounded (scrape
+/// requests are tiny). `None` on EOF, error, or an oversized head.
+fn read_http_head(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < 4096 && !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => return None,
+        }
+    }
+    head.ends_with(b"\r\n\r\n").then_some(head)
+}
+
+/// Whether the request head asks us to drop the connection after this
+/// response (`Connection: close`, any case).
+fn wants_close(head: &[u8]) -> bool {
+    head.to_ascii_lowercase()
+        .windows(b"connection: close".len())
+        .any(|w| w == b"connection: close")
 }
 
 fn unit(out: &mut Vec<u8>, tag: u64, r: Result<(), FsError>) {
@@ -425,6 +508,26 @@ pub fn serve<F: FileSystem + 'static>(
     serve_on(listener, fs, registry, cfg)
 }
 
+/// Like [`serve`], additionally starting a [`CheckerPump`] that follows
+/// `sink` — the trace sink the served `fs` emits into — with a
+/// streaming CRL-H checker. The live verdict is served at `/check` on
+/// the same listener, the checker's `crlh_stream_*` gauges land on
+/// `registry` when one is given, and
+/// [`Server::shutdown_checked`] returns the final
+/// [`CheckReport`](crlh::CheckReport).
+pub fn serve_checked<F: FileSystem + 'static>(
+    fs: Arc<F>,
+    registry: Option<Arc<Registry>>,
+    cfg: ServerConfig,
+    sink: &Arc<ShardedSink>,
+    pump: PumpConfig,
+) -> std::io::Result<Server<F>> {
+    let server = serve(fs, registry, cfg)?;
+    let pump = CheckerPump::start(sink, pump, server.shared.registry.as_deref());
+    *server.shared.checker.lock() = Some(Arc::new(pump));
+    Ok(server)
+}
+
 /// Like [`serve`], over an already-bound listener.
 pub fn serve_on<F: FileSystem + 'static>(
     listener: TcpListener,
@@ -443,6 +546,7 @@ pub fn serve_on<F: FileSystem + 'static>(
         stats,
         conns: Mutex::new(HashMap::new()),
         registry,
+        checker: Mutex::new(None),
     });
     let executor = Arc::new(Executor::start(cfg.executor));
     let stop = Arc::new(AtomicBool::new(false));
@@ -606,6 +710,16 @@ fn reader_loop<F: FileSystem + 'static>(
             shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
             break;
         };
+        // One sampled root per tagged request. It covers admission
+        // (window acquire) and the payload read on this thread and then
+        // closes; the worker-side decode/dispatch/fs-op spans link to
+        // it by id (`Span::child_of`) across the thread hop, so the
+        // whole accept→decode→dispatch→op chain hangs under one root.
+        // (Span guards must not cross threads — drop pops the creating
+        // thread's active stack — hence id linking, not moving.)
+        let mut rpc_sp = Span::op_root(SpanKind::Rpc, "rpc_request");
+        rpc_sp.set_shard(conn.shard as u32);
+        let rpc_id = rpc_sp.id();
         // Backpressure: park until the pipeline has room (or the
         // connection died under us).
         if !conn.window.acquire(&conn.dead) {
@@ -615,10 +729,12 @@ fn reader_loop<F: FileSystem + 'static>(
         frame.extend_from_slice(&hdr);
         frame.resize(total, 0);
         if rstream.read_exact(&mut frame[HDR_LEN..]).is_err() {
+            rpc_sp.fail();
             shared.pool.put(frame);
             break;
         }
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        drop(rpc_sp);
         let job_shared = Arc::clone(&shared);
         let job_conn = Arc::clone(&conn);
         let submitted = executor.submit(
@@ -629,7 +745,7 @@ fn reader_loop<F: FileSystem + 'static>(
                     conn: Arc::clone(&job_conn),
                     armed: true,
                 };
-                job_shared.execute(&job_conn, frame);
+                job_shared.execute(&job_conn, frame, rpc_id);
                 guard.armed = false;
             }),
         );
@@ -667,6 +783,22 @@ impl<F: FileSystem + 'static> Server<F> {
         self.shared.conns.lock().len()
     }
 
+    /// The attached streaming-checker pump, when this server was
+    /// started with [`serve_checked`].
+    pub fn checker(&self) -> Option<Arc<CheckerPump>> {
+        self.shared.checker.lock().clone()
+    }
+
+    /// [`Server::shutdown`], then stop the checker pump — the sink is
+    /// quiescent once shutdown returns — and run its end-of-trace
+    /// checks. The report is `None` when no pump was attached.
+    pub fn shutdown_checked(self) -> (StatsSnapshot, Option<CheckReport>) {
+        let pump = self.shared.checker.lock().take();
+        let snap = self.shutdown();
+        let report = pump.and_then(|p| p.stop_and_finish());
+        (snap, report)
+    }
+
     /// Stop accepting, tear down every connection (closing its FD
     /// table), drain the executor, and join all threads. Every admitted
     /// request has either executed or been dropped with its connection
@@ -687,6 +819,11 @@ impl<F: FileSystem + 'static> Server<F> {
             let _ = h.join();
         }
         self.executor.shutdown();
+        // A pump left attached (plain shutdown, not `shutdown_checked`)
+        // must still be joined or its thread leaks past the server.
+        if let Some(pump) = self.shared.checker.lock().take() {
+            pump.stop();
+        }
         self.stats()
     }
 }

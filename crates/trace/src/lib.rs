@@ -31,6 +31,7 @@
 //! order-equivalent traces.
 
 pub mod event;
+pub mod follow;
 pub mod gate;
 pub mod micro;
 pub mod op;
@@ -39,6 +40,7 @@ pub mod sink;
 pub mod tid;
 
 pub use event::{Event, PathTag};
+pub use follow::{CursorStats, TailCursor};
 pub use gate::{GateId, GateSink};
 pub use micro::MicroOp;
 pub use op::{OpDesc, OpRet, StatRet, Tid};

@@ -83,8 +83,8 @@ fn thread_slot() -> usize {
 /// One per-thread segment. Padded to a cache line so shard locks on
 /// adjacent slots do not false-share.
 #[repr(align(64))]
-struct Shard {
-    events: Mutex<Vec<Stamped>>,
+pub(crate) struct Shard {
+    pub(crate) events: Mutex<Vec<Stamped>>,
 }
 
 impl Shard {
@@ -104,12 +104,12 @@ impl Shard {
 /// [`ShardedSink::take_stamped`] additionally exposes the stamps so
 /// consumers can assert monotonicity (`crlh::LpChecker::check_stamped`).
 pub struct ShardedSink {
-    seq: AtomicU64,
+    pub(crate) seq: AtomicU64,
     /// Events drained by [`ShardedSink::take_stamped`] so far. `len()` is
     /// derived as `seq - taken`, so `emit` pays exactly one atomic RMW
     /// (the stamp) — the same count as `BufferSink`'s length counter.
-    taken: AtomicU64,
-    shards: Box<[Shard]>,
+    pub(crate) taken: AtomicU64,
+    pub(crate) shards: Box<[Shard]>,
     mask: usize,
 }
 

@@ -145,7 +145,7 @@ fn rename_storm_online_helped_counter_matches_offline_checker() {
     // with fresh seeds until one does; the online/offline agreement is
     // asserted on every attempt, helped or not.
     let mut saw_help = false;
-    for attempt in 0..12u64 {
+    for attempt in 0..40u64 {
         let sink = Arc::new(ShardedSink::new());
         // Pessimistic config: helping only happens on the lock-coupled
         // walk, and an aborted optimistic claim would re-linearize,
@@ -211,6 +211,6 @@ fn rename_storm_online_helped_counter_matches_offline_checker() {
     }
     assert!(
         saw_help,
-        "no rename storm out of 12 produced a helped linearization"
+        "no rename storm out of 40 produced a helped linearization"
     );
 }

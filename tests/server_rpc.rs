@@ -203,8 +203,10 @@ fn http_scrapes_share_the_rpc_listener() {
 
     let get = |target: &str| -> String {
         let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
-            .unwrap();
+        s.write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
@@ -224,6 +226,72 @@ fn http_scrapes_share_the_rpc_listener() {
 
     let stats = srv.shutdown();
     assert_eq!(stats.http_requests, 3);
+}
+
+/// Read one HTTP response off a kept-alive connection, framed by its
+/// `Content-Length` (which the server must always send).
+fn read_response(s: &mut TcpStream) -> String {
+    let mut head = Vec::new();
+    let mut b = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        s.read_exact(&mut b).expect("response head");
+        head.push(b[0]);
+    }
+    let head = String::from_utf8_lossy(&head).to_string();
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            if k.eq_ignore_ascii_case("content-length") {
+                v.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .expect("every response carries Content-Length");
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).expect("response body");
+    head + &String::from_utf8_lossy(&body)
+}
+
+#[test]
+fn http_keep_alive_serves_sequential_gets_on_one_connection() {
+    let registry = Arc::new(Registry::new());
+    let (srv, addr) = start(Some(Arc::clone(&registry)));
+    let client = Arc::new(RpcClient::connect(addr).unwrap());
+    let fs = RemoteFs::new(client);
+    fs.mkdir("/k").unwrap();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    // Several sequential scrapes ride one connection, each framed by
+    // Content-Length and answered with keep-alive.
+    for i in 0..3 {
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let resp = read_response(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "round {i}: {resp}");
+        assert!(resp.contains("Connection: keep-alive"), "round {i}");
+        assert!(resp.contains("rpc_requests_total"), "round {i}");
+    }
+    // Errors don't kill the connection either.
+    s.write_all(b"GET /bogus HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    assert!(read_response(&mut s).starts_with("HTTP/1.1 404"));
+    // /check without an attached pump reports so, and keeps the
+    // connection usable.
+    s.write_all(b"GET /check HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let check = read_response(&mut s);
+    assert!(check.starts_with("HTTP/1.1 404"), "{check}");
+    assert!(check.contains("no checker attached"));
+    // An explicit Connection: close is honored — the server answers,
+    // then shuts the socket down.
+    s.write_all(b"GET /spans HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut rest = String::new();
+    s.read_to_string(&mut rest).unwrap();
+    assert!(rest.starts_with("HTTP/1.1 200 OK"), "{rest}");
+    assert!(rest.contains("Connection: close"));
+
+    let stats = srv.shutdown();
+    assert_eq!(stats.http_requests, 6, "one count per GET, not per connection");
 }
 
 #[test]
